@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension study: operational-carbon savings from scheduling
+ * deferrable work into the greenest hours of diurnal grid profiles --
+ * the time-varying-CI direction flagged in Appendix A.1.
+ */
+
+#include <iostream>
+
+#include "core/scheduling.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Extension: carbon-aware scheduling",
+        "deferrable-load savings on diurnal grid profiles");
+
+    core::DailyLoad load;
+    load.baseline = util::watts(100.0);
+    load.deferrable_energy = util::kilowattHours(2.0);
+    load.deferrable_capacity = util::watts(500.0);
+
+    const auto taiwan = data::regionIntensity(data::Region::Taiwan);
+
+    experiment.section("hourly intensity, 25%-solar Taiwan grid");
+    const auto solar = data::DiurnalProfile::solarGrid(taiwan, 0.25);
+    util::Table hours({"Hour", "g CO2/kWh"});
+    for (std::size_t h = 0; h < data::DiurnalProfile::kHours; h += 3)
+        hours.addRow(util::formatFixed(static_cast<double>(h), 0) +
+                         ":00",
+                     {solar.at(h).value()});
+    std::cout << hours.render();
+
+    experiment.section("daily OPCF: uniform vs carbon-aware schedule");
+    util::Table table({"Profile", "Uniform (g)", "Carbon-aware (g)",
+                       "deferrable saving"});
+    util::CsvWriter csv({"profile", "uniform_g", "aware_g", "saving"});
+    const auto add_profile = [&](const std::string &name,
+                                 const data::DiurnalProfile &profile) {
+        const auto uniform = core::scheduleUniform(load, profile);
+        const auto aware = core::scheduleCarbonAware(load, profile);
+        const double saving = core::carbonAwareSaving(load, profile);
+        table.addRow(name, {util::asGrams(uniform.total()),
+                            util::asGrams(aware.total()), saving});
+        csv.addRow(name, {util::asGrams(uniform.total()),
+                          util::asGrams(aware.total()), saving});
+        return saving;
+    };
+
+    add_profile("flat (static model)",
+                data::DiurnalProfile::flat(taiwan));
+    const double s10 = add_profile(
+        "solar 10%", data::DiurnalProfile::solarGrid(taiwan, 0.10));
+    const double s25 = add_profile(
+        "solar 25%", data::DiurnalProfile::solarGrid(taiwan, 0.25));
+    const double s40 = add_profile(
+        "solar 40%", data::DiurnalProfile::solarGrid(taiwan, 0.40));
+    add_profile("wind 30%",
+                data::DiurnalProfile::windGrid(taiwan, 0.30));
+    std::cout << table.render();
+
+    experiment.claim("saving grows with renewable share", "monotone",
+                     (s10 < s25 && s25 < s40) ? "monotone"
+                                              : "non-monotone");
+    experiment.claim("deferrable saving at 25% solar", ">2x",
+                     util::formatSig(s25, 3) + "x");
+    experiment.note("time-shifting is a zero-hardware Reduce lever: "
+                    "the same joules, scheduled into green hours, "
+                    "emit a fraction of the carbon");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension study (Reuse tenet, Fig. 1 "chiplet design"): when does
+ * partitioning a large die into chiplets lower embodied carbon? Sweeps
+ * die size, defect density, and yield model; also serves as the
+ * computed-yield ablation of Table 1's scalar Y parameter.
+ */
+
+#include <iostream>
+
+#include "core/chiplet.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Extension: chiplets",
+        "monolithic vs chiplet embodied carbon at 7 nm");
+
+    const core::FabParams fab;
+    core::ChipletParams params;
+    params.defects.defect_density_per_cm2 = 0.15;
+
+    experiment.section("embodied carbon vs partitioning (kg CO2)");
+    util::Table table({"Die (mm2)", "N=1", "N=2", "N=4", "N=8",
+                       "optimal N"});
+    util::CsvWriter csv({"die_mm2", "n", "total_g", "yield"});
+    for (double mm2 : {100.0, 200.0, 400.0, 600.0, 800.0}) {
+        const auto sweep = core::chipletSweep(
+            util::squareMillimeters(mm2), 7.0, fab, params);
+        const std::size_t best = core::optimalChipletCount(sweep);
+        table.addRow(util::formatFixed(mm2, 0),
+                     {util::asKilograms(sweep[0].total()),
+                      util::asKilograms(sweep[1].total()),
+                      util::asKilograms(sweep[3].total()),
+                      util::asKilograms(sweep[7].total()),
+                      static_cast<double>(
+                          sweep[best].num_chiplets)});
+        for (const auto &point : sweep) {
+            csv.addRow(util::formatFixed(mm2, 0),
+                       {static_cast<double>(point.num_chiplets),
+                        util::asGrams(point.total()),
+                        point.chiplet_yield});
+        }
+    }
+    std::cout << table.render();
+
+    experiment.section("sensitivity to defect density (600 mm2 die)");
+    util::Table density({"D0 (/cm2)", "optimal N", "saving vs "
+                                                   "monolithic"});
+    for (double d0 : {0.05, 0.10, 0.15, 0.25, 0.40}) {
+        core::ChipletParams p = params;
+        p.defects.defect_density_per_cm2 = d0;
+        const auto sweep = core::chipletSweep(
+            util::squareMillimeters(600.0), 7.0, fab, p);
+        const std::size_t best = core::optimalChipletCount(sweep);
+        density.addRow(util::formatSig(d0, 2),
+                       {static_cast<double>(sweep[best].num_chiplets),
+                        util::asGrams(sweep[0].total()) /
+                            util::asGrams(sweep[best].total())});
+    }
+    std::cout << density.render();
+
+    const auto big = core::chipletSweep(util::squareMillimeters(800.0),
+                                        7.0, fab, params);
+    const auto small = core::chipletSweep(
+        util::squareMillimeters(100.0), 7.0, fab, params);
+    experiment.claim(
+        "small dies stay monolithic", "N = 1",
+        "N = " + std::to_string(
+                     small[core::optimalChipletCount(small)]
+                         .num_chiplets));
+    experiment.claim(
+        "800 mm2 die benefits from chiplets", "> 1.5x saving",
+        util::formatSig(
+            util::asGrams(big[0].total()) /
+                util::asGrams(
+                    big[core::optimalChipletCount(big)].total()),
+            3) + "x");
+    experiment.note("yield recovered from smaller dies must outweigh "
+                    "interface beachfront, interposer silicon, and "
+                    "assembly carbon -- all three are modeled");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

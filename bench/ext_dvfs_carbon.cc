@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension study (Reduce tenet, Fig. 1 "DVFS"): the carbon-optimal
+ * DVFS operating point. Under Eq. 1 the device's embodied footprint is
+ * charged for occupancy time, so the carbon optimum sits above the
+ * energy optimum and slides to race-to-idle as the grid gets greener.
+ */
+
+#include <iostream>
+
+#include "mobile/dvfs.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Extension: DVFS", "carbon-optimal frequency selection");
+
+    mobile::DvfsParams params;
+    const util::Duration task = util::milliseconds(100.0);
+
+    experiment.section("energy and footprint vs frequency "
+                       "(US grid, 300 g/kWh)");
+    const core::OperationalParams us;
+    util::Table table({"f", "Latency (ms)", "Energy (mJ)",
+                       "CF total (ug)", "embodied share"});
+    util::CsvWriter csv({"f", "energy_mj", "cf_ug"});
+    for (const auto &point : mobile::dvfsSweep(params, task, us, 0.2,
+                                               9)) {
+        table.addRow(util::formatSig(point.frequency, 3),
+                     {util::asMilliseconds(point.latency),
+                      util::asMillijoules(point.energy),
+                      util::asMicrograms(point.footprint.total()),
+                      point.footprint.embodiedShare()});
+        csv.addRow(util::formatSig(point.frequency, 4),
+                   {util::asMillijoules(point.energy),
+                    util::asMicrograms(point.footprint.total())});
+    }
+    std::cout << table.render();
+
+    experiment.section("optimal frequency vs grid carbon intensity");
+    util::Table optima({"Grid", "CI (g/kWh)", "f* (energy)",
+                        "f* (carbon)"});
+    const double f_energy =
+        mobile::energyOptimalFrequency(params, task);
+    for (data::EnergySource source :
+         {data::EnergySource::Coal, data::EnergySource::Gas,
+          data::EnergySource::Solar, data::EnergySource::Wind,
+          data::EnergySource::CarbonFree}) {
+        const auto use = core::OperationalParams::forSource(source);
+        optima.addRow(std::string(data::sourceName(source)),
+                      {use.ci_use.value(), f_energy,
+                       mobile::carbonOptimalFrequency(params, task,
+                                                      use)});
+    }
+    std::cout << optima.render();
+
+    const double f_coal = mobile::carbonOptimalFrequency(
+        params, task,
+        core::OperationalParams::forSource(data::EnergySource::Coal));
+    const double f_free = mobile::carbonOptimalFrequency(
+        params, task,
+        core::OperationalParams::forSource(
+            data::EnergySource::CarbonFree));
+    experiment.claim("carbon optimum >= energy optimum", "yes",
+                     f_coal >= f_energy - 1e-6 ? "yes" : "no");
+    experiment.claim("carbon-free grid favors race-to-idle", "f* = 1.0",
+                     "f* = " + util::formatSig(f_free, 3));
+    experiment.note("energy-only DVFS governors under-clock on green "
+                    "grids: once operational carbon vanishes, device "
+                    "occupancy (embodied amortization) is the only "
+                    "cost left");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

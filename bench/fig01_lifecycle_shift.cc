@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 1 (left): the shift of mobile carbon footprints from
+ * operational to embodied emissions between the iPhone 3GS (2009) and
+ * the iPhone 11 (2019), from the published product environmental
+ * reports encoded in the device database.
+ */
+
+#include <iostream>
+
+#include "data/device_db.h"
+#include "report/experiment.h"
+#include "util/chart.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 1",
+        "life-cycle emission shares shift from use to manufacturing");
+
+    const auto &db = data::DeviceDatabase::instance();
+    const auto devices = {db.byNameOrDie("iPhone 3GS"),
+                          db.byNameOrDie("iPhone 11")};
+
+    util::Table table({"Device", "Total (kg)", "Manufacturing %",
+                       "Use %", "Transport %", "End-of-life %"});
+    std::vector<util::StackedBarEntry> bars;
+    util::CsvWriter csv({"device", "production_share", "use_share"});
+    for (const auto &device : devices) {
+        table.addRow(device.name,
+                     {util::asKilograms(device.lca.total),
+                      device.lca.production_share * 100.0,
+                      device.lca.use_share * 100.0,
+                      device.lca.transport_share * 100.0,
+                      device.lca.eol_share * 100.0});
+        bars.push_back(
+            {device.name,
+             util::asKilograms(device.lca.productionFootprint()),
+             util::asKilograms(device.lca.useFootprint())});
+        csv.addRow(device.name, {device.lca.production_share,
+                                 device.lca.use_share});
+    }
+    std::cout << table.render();
+    std::cout << util::renderStackedBarChart(
+        "Life-cycle footprint (kg CO2)", "embodied/manufacturing",
+        "operational", bars);
+
+    const auto iphone3 = db.byNameOrDie("iPhone 3GS");
+    const auto iphone11 = db.byNameOrDie("iPhone 11");
+    experiment.claim("iPhone 3GS manufacturing share", "45%",
+                     util::formatFixed(
+                         iphone3.lca.production_share * 100.0, 0) + "%");
+    experiment.claim("iPhone 3GS use share", "49%",
+                     util::formatFixed(iphone3.lca.use_share * 100.0, 0) +
+                         "%");
+    experiment.claim("iPhone 11 manufacturing share", "79%",
+                     util::formatFixed(
+                         iphone11.lca.production_share * 100.0, 0) + "%");
+    experiment.claim("iPhone 11 use share", "17%",
+                     util::formatFixed(iphone11.lca.use_share * 100.0,
+                                       0) + "%");
+    experiment.note("operational efficiency improved ~2.5x across the "
+                    "decade while manufacturing complexity grew, so "
+                    "embodied emissions now dominate");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

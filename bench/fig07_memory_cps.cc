@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 7: embodied carbon per gigabyte for DRAM (left), NAND SSDs
+ * (center), and HDDs (right). Device-level characterization (black
+ * bars in the paper) is tagged [device]; component-level vendor
+ * analyses (grey bars) are tagged [vendor].
+ */
+
+#include <iostream>
+
+#include "data/memory_db.h"
+#include "report/experiment.h"
+#include "util/chart.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 7", "carbon per GB across memory/storage technologies");
+
+    util::CsvWriter csv({"class", "technology", "g_co2_per_gb",
+                         "characterization"});
+    const auto render = [&](data::StorageClass cls,
+                            const std::string &title) {
+        std::vector<util::BarEntry> bars;
+        for (const auto &record : data::storageTable(cls)) {
+            const bool device_level =
+                record.characterization ==
+                data::Characterization::DeviceLevel;
+            bars.push_back({record.name, record.cps.value(),
+                            device_level ? "[device]" : "[vendor]"});
+            csv.addRow({title, record.name,
+                        util::formatSig(record.cps.value(), 5),
+                        device_level ? "device" : "vendor"});
+        }
+        std::cout << util::renderBarChart(title + " (g CO2/GB)", bars);
+    };
+
+    experiment.section("DRAM (Table 9)");
+    render(data::StorageClass::Dram, "DRAM");
+    experiment.section("SSD (Table 10)");
+    render(data::StorageClass::Ssd, "SSD");
+    experiment.section("HDD (Table 11)");
+    render(data::StorageClass::Hdd, "HDD");
+
+    experiment.claim(
+        "DRAM dirtier than SSD at commensurate nodes", "yes",
+        data::storageOrDie("10nm DDR4").cps.value() >
+                data::storageOrDie("10nm NAND").cps.value()
+            ? "yes"
+            : "no");
+    experiment.claim(
+        "newer DRAM/SSD nodes lower carbon per GB", "yes",
+        data::storageOrDie("50nm DDR3").cps.value() >
+                    data::storageOrDie("10nm DDR4").cps.value() &&
+                data::storageOrDie("30nm NAND").cps.value() >
+                    data::storageOrDie("1z NAND TLC").cps.value()
+            ? "yes"
+            : "no");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 8: the carbon-optimization design space for thirteen
+ * commodity mobile SoCs. Panels (a)-(c) report aggregate speed,
+ * energy, and embodied carbon; panel (d) normalizes the Table 2
+ * metrics within each family and reports each metric's winner.
+ */
+
+#include <iostream>
+
+#include "dse/scoreboard.h"
+#include "mobile/platform.h"
+#include "report/experiment.h"
+#include "util/chart.h"
+#include "util/strings.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 8", "mobile SoC performance/energy/carbon design space");
+
+    const core::FabParams fab;
+    const auto space = mobile::mobileDesignSpace(fab);
+    const auto &soc_db = data::SocDatabase::instance();
+
+    experiment.section("(a)-(c) per-chipset characteristics");
+    util::Table table({"SoC", "Node (nm)", "Die (mm2)", "DRAM (GB)",
+                       "Agg. speed", "Energy (J)", "Embodied (kg)"});
+    util::CsvWriter csv({"soc", "speed", "energy_j", "embodied_kg"});
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        const auto &soc = soc_db.records()[i];
+        table.addRow(soc.name,
+                     {soc.node_nm,
+                      util::asSquareMillimeters(soc.die_area),
+                      util::asGigabytes(soc.dram_capacity),
+                      soc.aggregateScore(),
+                      util::asJoules(space[i].energy),
+                      util::asKilograms(space[i].embodied)});
+        csv.addRow(soc.name, {soc.aggregateScore(),
+                              util::asJoules(space[i].energy),
+                              util::asKilograms(space[i].embodied)});
+    }
+    std::cout << table.render();
+
+    std::vector<util::BarEntry> carbon_bars;
+    for (const auto &point : space) {
+        carbon_bars.push_back(
+            {point.name, util::asKilograms(point.embodied), ""});
+    }
+    std::cout << util::renderBarChart("(c) Embodied carbon (kg CO2)",
+                                      carbon_bars);
+
+    experiment.section("(d) normalized optimization metrics");
+    const dse::Scoreboard scoreboard(space);
+    util::Table metric_table({"SoC", "EDP", "EDAP", "CDP", "CEP", "C2EP",
+                              "CE2P"});
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        std::vector<double> row;
+        for (core::Metric metric : core::allMetrics())
+            row.push_back(scoreboard.column(metric).normalized[i]);
+        metric_table.addRow(space[i].name, row, 3);
+    }
+    std::cout << metric_table.render();
+
+    util::Table winners({"Metric", "Optimal design", "Use case"});
+    for (core::Metric metric : core::allMetrics()) {
+        winners.addRow({std::string(core::metricName(metric)),
+                        scoreboard.winner(metric),
+                        std::string(core::metricUseCase(metric))});
+    }
+    std::cout << winners.render();
+
+    experiment.claim("EDP optimum", "Kirin 990",
+                     scoreboard.winner(core::Metric::EDP));
+    experiment.claim("EDAP optimum", "Snapdragon 865",
+                     scoreboard.winner(core::Metric::EDAP));
+    experiment.claim("CEP optimum", "Kirin 980",
+                     scoreboard.winner(core::Metric::CEP));
+    experiment.claim("C2EP optimum", "Kirin 980",
+                     scoreboard.winner(core::Metric::C2EP));
+    std::size_t min_embodied = 0;
+    for (std::size_t i = 1; i < space.size(); ++i) {
+        if (space[i].embodied < space[min_embodied].embodied)
+            min_embodied = i;
+    }
+    experiment.claim("minimum embodied carbon", "Snapdragon 835",
+                     space[min_embodied].name);
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

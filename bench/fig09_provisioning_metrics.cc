@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 9: the provisioning design space under ACT's carbon metrics,
+ * normalized to the CPU-only design. CPU wins the embodied-centric
+ * metrics (CDP, C2EP); the DSP wins the operational-centric ones
+ * (CEP, CE2P).
+ */
+
+#include <iostream>
+
+#include "dse/scoreboard.h"
+#include "mobile/provisioning.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 9",
+        "carbon-metric optima for CPU/GPU/DSP provisioning");
+
+    const core::FabParams fab;
+    const core::OperationalParams use;
+    const dse::Scoreboard scoreboard(
+        mobile::provisioningDesignSpace(fab, use));
+
+    util::Table table({"Design", "CDP", "C2EP", "CEP", "CE2P"});
+    util::CsvWriter csv({"design", "cdp", "c2ep", "cep", "ce2p"});
+    const auto designs = scoreboard.designs();
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const std::vector<double> row = {
+            scoreboard.column(core::Metric::CDP).normalized[i],
+            scoreboard.column(core::Metric::C2EP).normalized[i],
+            scoreboard.column(core::Metric::CEP).normalized[i],
+            scoreboard.column(core::Metric::CE2P).normalized[i],
+        };
+        table.addRow(designs[i].name, row, 3);
+        csv.addRow(designs[i].name, row);
+    }
+    std::cout << table.render();
+
+    for (core::Metric metric :
+         {core::Metric::CDP, core::Metric::C2EP, core::Metric::CEP,
+          core::Metric::CE2P}) {
+        const bool embodied_centric = metric == core::Metric::CDP ||
+                                      metric == core::Metric::C2EP;
+        experiment.claim(std::string(core::metricName(metric)) +
+                             " optimum",
+                         embodied_centric ? "CPU" : "DSP",
+                         scoreboard.winner(metric));
+    }
+    experiment.note("the CPU-only SoC avoids co-processor silicon; the "
+                    "DSP's efficiency wins once operational emissions "
+                    "dominate");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

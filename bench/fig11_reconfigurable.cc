@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 11: CPU vs specialized ASIC ("Accel") vs embedded FPGA on an
+ * SMIV-style 16 nm SoC across FIR, AES, and AI inference: per-app
+ * speedups (top), AI energy (bottom left), embodied carbon (bottom
+ * right), and the carbon-metric winners.
+ */
+
+#include <iostream>
+
+#include "dse/scoreboard.h"
+#include "mobile/reconfigurable.h"
+#include "report/experiment.h"
+#include "util/chart.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 11", "programmable vs specialized vs reconfigurable");
+
+    const core::FabParams fab;
+    const auto results = mobile::evaluateSubstrates(fab);
+
+    experiment.section("speedup over CPU per application");
+    util::Table speedups({"Substrate", "FIR", "AES", "AI", "Geomean"});
+    util::CsvWriter csv({"substrate", "fir_speedup", "aes_speedup",
+                         "ai_speedup", "embodied_g"});
+    for (const auto &result : results) {
+        std::vector<double> row;
+        for (std::size_t app = 0; app < mobile::kNumSmivApps; ++app) {
+            row.push_back(util::asSeconds(results[0].latency[app]) /
+                          util::asSeconds(result.latency[app]));
+        }
+        row.push_back(result.geomean_speedup);
+        speedups.addRow(result.name, row, 3);
+        csv.addRow(result.name, {row[0], row[1], row[2],
+                                 util::asGrams(result.embodied)});
+    }
+    std::cout << speedups.render();
+
+    experiment.section("AI energy per inference");
+    std::vector<util::BarEntry> energy_bars;
+    const std::size_t ai =
+        static_cast<std::size_t>(mobile::SmivApp::Ai);
+    for (const auto &result : results) {
+        energy_bars.push_back(
+            {result.name, util::asMillijoules(result.energy[ai]), ""});
+    }
+    std::cout << util::renderBarChart("AI energy (mJ/inference)",
+                                      energy_bars);
+
+    experiment.section("embodied carbon per SoC configuration");
+    std::vector<util::BarEntry> carbon_bars;
+    for (const auto &result : results) {
+        carbon_bars.push_back(
+            {result.name, util::asGrams(result.embodied), ""});
+    }
+    std::cout << util::renderBarChart("Embodied carbon (g CO2)",
+                                      carbon_bars);
+
+    const dse::Scoreboard scoreboard(
+        mobile::reconfigurableDesignSpace(fab));
+    util::Table winners({"Metric", "Winner"});
+    for (core::Metric metric : core::carbonMetrics()) {
+        winners.addRow({std::string(core::metricName(metric)),
+                        scoreboard.winner(metric)});
+    }
+    std::cout << winners.render();
+
+    experiment.claim("ASIC AI speedup over CPU", "26x",
+                     util::formatSig(
+                         util::asSeconds(results[0].latency[ai]) /
+                             util::asSeconds(results[1].latency[ai]),
+                         3) + "x");
+    experiment.claim("FPGA geomean speedup", "45x",
+                     util::formatSig(results[2].geomean_speedup, 3) +
+                         "x");
+    experiment.claim("ASIC AI energy advantage over CPU", "44x",
+                     util::formatSig(
+                         util::asJoules(results[0].energy[ai]) /
+                             util::asJoules(results[1].energy[ai]),
+                         3) + "x");
+    experiment.claim("CPU embodied advantage over ASIC / FPGA",
+                     "1.3x / 1.8x",
+                     util::formatSig(util::asGrams(results[1].embodied) /
+                                     util::asGrams(results[0].embodied),
+                                     2) + "x / " +
+                         util::formatSig(
+                             util::asGrams(results[2].embodied) /
+                                 util::asGrams(results[0].embodied),
+                             2) + "x");
+    bool fpga_sweeps = true;
+    for (core::Metric metric : core::carbonMetrics())
+        fpga_sweeps = fpga_sweeps && scoreboard.winner(metric) == "FPGA";
+    experiment.claim("FPGA wins CDP/CEP/C2EP/CE2P", "yes",
+                     fpga_sweeps ? "yes" : "no");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 13: QoS-driven sustainability design (left) and
+ * resource-constrained design across nodes (right).
+ *
+ * Left: under a 30 FPS QoS target the carbon-minimal NPU uses 256
+ * MACs; the performance- and energy-optimal configurations
+ * over-provision and incur higher embodied footprints.
+ *
+ * Right: under 1 and 2 mm2 area budgets, moving from 28 nm to 16 nm
+ * *increases* the embodied footprint -- Jevons paradox: the newer node
+ * packs more MACs into the budget and is dirtier per unit area.
+ */
+
+#include <iostream>
+
+#include "accel/design_space.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 13", "QoS-driven and area-budgeted NPU design");
+
+    const accel::NpuModel model;
+    const core::FabParams fab;
+    util::CsvWriter csv({"study", "node_nm", "macs", "fps",
+                         "embodied_g"});
+
+    experiment.section("left: 30 FPS QoS target at 16 nm");
+    const accel::QosStudy qos = accel::qosStudy(model, 16.0, fab);
+    util::Table qos_table({"Optimum", "MACs", "FPS", "Embodied (g)",
+                           "vs carbon-optimal"});
+    const auto add_optimum = [&](const std::string &label,
+                                 const accel::SweepEntry &entry) {
+        qos_table.addRow(
+            label,
+            {static_cast<double>(entry.evaluation.config.mac_count),
+             entry.evaluation.frames_per_second,
+             util::asGrams(entry.embodied),
+             entry.embodied / qos.carbon_optimal->embodied});
+        csv.addRow(label,
+                   {16.0,
+                    static_cast<double>(
+                        entry.evaluation.config.mac_count),
+                    entry.evaluation.frames_per_second,
+                    util::asGrams(entry.embodied)});
+    };
+    add_optimum("carbon (QoS)", *qos.carbon_optimal);
+    add_optimum("energy", qos.energy_optimal);
+    add_optimum("performance", qos.performance_optimal);
+    std::cout << qos_table.render();
+
+    experiment.claim("carbon-optimal config at 30 FPS", "256 MACs",
+                     std::to_string(qos.carbon_optimal->evaluation
+                                        .config.mac_count) + " MACs");
+    experiment.claim("carbon-optimal embodied footprint", "16 g CO2",
+                     util::formatSig(util::asGrams(
+                         qos.carbon_optimal->embodied), 3) + " g");
+    experiment.claim("performance-optimal embodied overhead", "3.3x",
+                     util::formatSig(qos.performanceOverhead(), 3) +
+                         "x");
+    experiment.claim("energy-optimal embodied overhead", "1.4x",
+                     util::formatSig(qos.energyOverhead(), 3) + "x");
+    experiment.claim(
+        "performance optimum exceeds the QoS target", "9x",
+        util::formatSig(qos.performance_optimal.evaluation
+                                .frames_per_second / qos.qos_fps, 2) +
+            "x");
+    experiment.claim(
+        "energy optimum exceeds the QoS target", "3x",
+        util::formatSig(qos.energy_optimal.evaluation.frames_per_second /
+                            qos.qos_fps, 2) + "x");
+
+    experiment.section("right: area budgets, 28 nm vs 16 nm");
+    util::Table budget_table({"Budget", "Node", "Best config (MACs)",
+                              "Area used (mm2)", "Embodied (g)"});
+    for (double budget : {1.0, 2.0}) {
+        accel::BudgetEntry entries[2] = {
+            accel::budgetStudy(model, 28.0, budget, fab),
+            accel::budgetStudy(model, 16.0, budget, fab),
+        };
+        for (const auto &entry : entries) {
+            if (!entry.best)
+                continue;
+            budget_table.addRow(
+                util::formatFixed(budget, 0) + " mm2",
+                {entry.node_nm,
+                 static_cast<double>(
+                     entry.best->evaluation.config.mac_count),
+                 util::asSquareMillimeters(entry.best->evaluation.area),
+                 util::asGrams(entry.best->embodied)});
+            csv.addRow("budget-" + util::formatFixed(budget, 0) + "mm2",
+                       {entry.node_nm,
+                        static_cast<double>(
+                            entry.best->evaluation.config.mac_count),
+                        entry.best->evaluation.frames_per_second,
+                        util::asGrams(entry.best->embodied)});
+        }
+        budget_table.addSeparator();
+        const double ratio =
+            util::asGrams(entries[1].best->embodied) /
+            util::asGrams(entries[0].best->embodied);
+        experiment.claim(
+            "16 nm footprint increase at " +
+                util::formatFixed(budget, 0) + " mm2",
+            budget == 1.0 ? "+33%" : "+28%",
+            (ratio >= 1.0 ? "+" : "") +
+                util::formatSig((ratio - 1.0) * 100.0, 3) + "%");
+    }
+    std::cout << budget_table.render();
+    experiment.note("Jevons paradox: node scaling alone does not lower "
+                    "embodied footprints when the freed area is "
+                    "immediately re-spent on more compute");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 14: annual mobile energy-efficiency improvement per SoC
+ * family (left) and the 10-year fleet footprint as a function of
+ * device lifetime (right), with the ~5-year optimum.
+ */
+
+#include <iostream>
+
+#include "mobile/fleet.h"
+#include "report/experiment.h"
+#include "util/chart.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Figure 14", "extending mobile lifetimes to balance emissions");
+
+    experiment.section("left: annual energy-efficiency improvement");
+    util::Table families({"Family", "Annual improvement"});
+    for (data::SocFamily family : {data::SocFamily::Snapdragon,
+                                   data::SocFamily::Exynos,
+                                   data::SocFamily::Kirin}) {
+        families.addRow(std::string(data::familyName(family)),
+                        {mobile::familyEfficiencyGrowth(family)});
+    }
+    families.addSeparator();
+    families.addRow("Geomean", {mobile::annualEfficiencyImprovement()});
+    std::cout << families.render();
+    experiment.claim("mean annual efficiency improvement", "1.21x",
+                     util::formatSig(
+                         mobile::annualEfficiencyImprovement(), 3) +
+                         "x");
+
+    experiment.section("right: 10-year fleet footprint vs lifetime");
+    const core::FabParams fab;
+    const mobile::FleetParams params = mobile::defaultFleetParams(fab);
+    const auto sweep = mobile::lifetimeSweep(params);
+
+    util::Table table({"Lifetime (y)", "Embodied (kg)",
+                       "Operational (kg)", "Total (kg)"});
+    util::CsvWriter csv({"lifetime_years", "embodied_kg",
+                         "operational_kg", "total_kg"});
+    std::vector<util::StackedBarEntry> bars;
+    for (const auto &point : sweep) {
+        table.addRow(util::formatFixed(point.lifetime_years, 0),
+                     {util::asKilograms(point.embodied),
+                      util::asKilograms(point.operational),
+                      util::asKilograms(point.total())});
+        csv.addRow(util::formatFixed(point.lifetime_years, 0),
+                   {util::asKilograms(point.embodied),
+                    util::asKilograms(point.operational),
+                    util::asKilograms(point.total())});
+        bars.push_back({util::formatFixed(point.lifetime_years, 0) + "y",
+                        util::asKilograms(point.embodied),
+                        util::asKilograms(point.operational)});
+    }
+    std::cout << table.render();
+    std::cout << util::renderStackedBarChart(
+        "Fleet footprint over 10 years (kg CO2)", "embodied",
+        "operational", bars);
+
+    const std::size_t best = mobile::optimalLifetimeIndex(sweep);
+    experiment.claim("optimal lifetime", "~5 years",
+                     util::formatFixed(sweep[best].lifetime_years, 0) +
+                         " years");
+    const double current = std::sqrt(
+        util::asKilograms(sweep[1].total()) *
+        util::asKilograms(sweep[2].total()));
+    experiment.claim(
+        "improvement vs current 2-3 year lifetimes", "1.26x",
+        util::formatSig(current / util::asKilograms(sweep[best].total()),
+                        3) + "x");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

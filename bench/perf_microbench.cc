@@ -1,0 +1,89 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the model-evaluation hot paths:
+ * CPA computation, device evaluation, the NPU simulator, the FTL
+ * simulator, and the full mobile design-space sweep. These bound the
+ * cost of embedding ACT inside larger design-space-exploration loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/design_space.h"
+#include "core/embodied.h"
+#include "dse/scoreboard.h"
+#include "mobile/platform.h"
+#include "ssd/ftl_sim.h"
+
+namespace {
+
+using namespace act;
+
+void
+BM_CarbonPerArea(benchmark::State &state)
+{
+    const core::FabParams fab;
+    double nm = 3.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::carbonPerArea(fab, nm));
+        nm = nm >= 28.0 ? 3.0 : nm + 1.0;
+    }
+}
+BENCHMARK(BM_CarbonPerArea);
+
+void
+BM_DeviceEvaluation(benchmark::State &state)
+{
+    const core::EmbodiedModel model;
+    const auto device =
+        data::DeviceDatabase::instance().byNameOrDie("iPhone 11");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluate(device));
+}
+BENCHMARK(BM_DeviceEvaluation);
+
+void
+BM_MobileDesignSpace(benchmark::State &state)
+{
+    const core::FabParams fab;
+    for (auto _ : state) {
+        const auto space = mobile::mobileDesignSpace(fab);
+        const dse::Scoreboard scoreboard(space);
+        benchmark::DoNotOptimize(
+            scoreboard.winner(core::Metric::C2EP));
+    }
+}
+BENCHMARK(BM_MobileDesignSpace);
+
+void
+BM_NpuEvaluation(benchmark::State &state)
+{
+    const accel::NpuModel model;
+    const accel::Network &network = accel::referenceVisionNetwork();
+    const int macs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(network, {macs, 16.0}));
+    }
+}
+BENCHMARK(BM_NpuEvaluation)->Arg(64)->Arg(512)->Arg(2048);
+
+void
+BM_FtlSimulator(benchmark::State &state)
+{
+    ssd::FtlConfig config;
+    config.num_blocks = 128;
+    config.pages_per_block = 32;
+    config.over_provision = 0.16;
+    config.user_writes = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        ssd::FtlSimulator simulator(config);
+        benchmark::DoNotOptimize(simulator.run());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_FtlSimulator)->Arg(10000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

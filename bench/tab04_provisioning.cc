@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 4: mobile AI inference latency, power, operational footprint
+ * per inference, and embodied footprint for the Snapdragon 845's CPU,
+ * GPU, and DSP substrates (GPU/DSP rows label-corrected per the
+ * paper's prose -- see DESIGN.md substitution #2), plus the break-even
+ * reuse analysis of Section 6.1.
+ */
+
+#include <iostream>
+
+#include "mobile/provisioning.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Table 4", "CPU vs GPU vs DSP provisioning for mobile AI");
+
+    const core::FabParams fab;
+    const core::OperationalParams use;  // 300 g CO2/kWh US average
+    const auto results = mobile::provisioningTable(fab, use);
+
+    util::Table table({"Hardware", "Latency (ms)", "Power (W)",
+                       "OPCF (ug CO2)", "ECF (g CO2)",
+                       "ECF incl. host (g)"});
+    util::CsvWriter csv({"hardware", "latency_ms", "power_w", "opcf_ug",
+                         "ecf_g"});
+    for (const auto &result : results) {
+        table.addRow(result.name,
+                     {util::asMilliseconds(result.latency),
+                      util::asWatts(result.power),
+                      util::asMicrograms(result.opcf_per_inference),
+                      util::asGrams(result.ecf_block),
+                      util::asGrams(result.ecf_total)});
+        csv.addRow(result.name,
+                   {util::asMilliseconds(result.latency),
+                    util::asWatts(result.power),
+                    util::asMicrograms(result.opcf_per_inference),
+                    util::asGrams(result.ecf_block)});
+    }
+    std::cout << table.render();
+
+    experiment.claim("CPU OPCF", "3.3 ug CO2",
+                     util::formatSig(util::asMicrograms(
+                         results[0].opcf_per_inference), 2) + " ug");
+    experiment.claim("DSP OPCF", "1.5 ug CO2",
+                     util::formatSig(util::asMicrograms(
+                         results[2].opcf_per_inference), 2) + " ug");
+    experiment.claim("CPU ECF", "253 g CO2",
+                     util::formatSig(util::asGrams(results[0].ecf_total),
+                                     3) + " g");
+    experiment.claim("DSP energy advantage over CPU", "2.2x",
+                     util::formatSig(results[0].energy /
+                                     results[2].energy, 2) + "x");
+
+    experiment.section("break-even lifetime utilization (3-year life)");
+    const auto blocks = mobile::snapdragon845Blocks();
+    util::Table breakeven({"Co-processor", "Break-even utilization %"});
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+        const auto utilization = mobile::breakEvenUtilization(
+            blocks[i], blocks[0], fab, use, util::years(3.0));
+        breakeven.addRow(blocks[i].name,
+                         {utilization ? *utilization * 100.0 : -1.0});
+    }
+    std::cout << breakeven.render();
+    const auto dsp = mobile::breakEvenUtilization(
+        blocks[2], blocks[0], fab, use, util::years(3.0));
+    const auto gpu = mobile::breakEvenUtilization(
+        blocks[1], blocks[0], fab, use, util::years(3.0));
+    experiment.claim("DSP break-even utilization", ">1%",
+                     util::formatSig(*dsp * 100.0, 2) + "%");
+    experiment.claim("GPU break-even utilization", ">5%",
+                     util::formatSig(*gpu * 100.0, 2) + "%");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tables 7 and 8: per-node fab energy and gas intensities for logic
+ * manufacturing, and the raw-material procurement intensity.
+ */
+
+#include <iostream>
+
+#include "data/fab_db.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Tables 7/8", "fab energy/gas intensities and raw materials");
+
+    const auto &db = data::FabDatabase::instance();
+
+    experiment.section("Table 7: EPA and GPA per process node");
+    util::Table table({"Node", "EPA (kWh/cm2)", "GPA 95% (g/cm2)",
+                       "GPA 99% (g/cm2)"});
+    util::CsvWriter csv({"node", "epa", "gpa95", "gpa99"});
+    for (const auto &record : db.records()) {
+        table.addRow(record.name,
+                     {record.epa.value(), record.gpa_abated_95.value(),
+                      record.gpa_abated_99.value()});
+        csv.addRow(record.name,
+                   {record.epa.value(), record.gpa_abated_95.value(),
+                    record.gpa_abated_99.value()});
+    }
+    std::cout << table.render();
+
+    experiment.section("Table 8: raw material procurement");
+    util::Table mpa({"Source", "g CO2/cm2"});
+    mpa.addRow("semiconductor LCA", {db.mpa().value()});
+    std::cout << mpa.render();
+
+    experiment.claim("28nm EPA", "0.90 kWh/cm2",
+                     util::formatSig(db.epa(28.0).value(), 3) +
+                         " kWh/cm2");
+    experiment.claim("3nm EPA", "2.75 kWh/cm2",
+                     util::formatSig(db.epa(3.0).value(), 3) +
+                         " kWh/cm2");
+    experiment.claim("7nm-EUV EPA", "2.15 kWh/cm2",
+                     util::formatSig(
+                         db.findByName("7nm-EUV")->epa.value(), 3) +
+                         " kWh/cm2");
+    experiment.claim("MPA", "~0.50 kg CO2/cm2",
+                     util::formatSig(db.mpa().value() / 1000.0, 2) +
+                         " kg CO2/cm2");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

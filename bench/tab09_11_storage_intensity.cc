@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tables 9-11: embodied carbon per gigabyte for DRAM, SSD, and HDD
+ * technologies, printed in the paper's table layout.
+ */
+
+#include <iostream>
+
+#include "data/memory_db.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace act;
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Tables 9/10/11", "embodied carbon of DRAM, SSD, and HDD");
+
+    util::CsvWriter csv({"table", "technology", "g_co2_per_gb"});
+
+    experiment.section("Table 9: DRAM");
+    util::Table dram({"Technology", "g CO2/GB"});
+    for (const auto &record :
+         data::storageTable(data::StorageClass::Dram)) {
+        dram.addRow(record.name, {record.cps.value()});
+        csv.addRow({"dram", record.name,
+                    util::formatSig(record.cps.value(), 5)});
+    }
+    std::cout << dram.render();
+
+    experiment.section("Table 10: SSD");
+    util::Table ssd({"Technology", "g CO2/GB"});
+    for (const auto &record :
+         data::storageTable(data::StorageClass::Ssd)) {
+        ssd.addRow(record.name, {record.cps.value()});
+        csv.addRow({"ssd", record.name,
+                    util::formatSig(record.cps.value(), 5)});
+    }
+    std::cout << ssd.render();
+
+    experiment.section("Table 11: HDD");
+    util::Table hdd({"Technology", "Segment", "g CO2/GB"});
+    for (const auto &record :
+         data::storageTable(data::StorageClass::Hdd)) {
+        hdd.addRow({record.name,
+                    record.segment == data::StorageSegment::Enterprise
+                        ? "Enterprise"
+                        : "Consumer",
+                    util::formatSig(record.cps.value(), 4)});
+        csv.addRow({"hdd", record.name,
+                    util::formatSig(record.cps.value(), 5)});
+    }
+    std::cout << hdd.render();
+
+    experiment.claim("50nm DDR3", "600 g/GB",
+                     util::formatSig(
+                         data::storageOrDie("50nm DDR3").cps.value(),
+                         3) + " g/GB");
+    experiment.claim("V3 NAND TLC", "6.3 g/GB",
+                     util::formatSig(
+                         data::storageOrDie("V3 NAND TLC").cps.value(),
+                         2) + " g/GB");
+    experiment.claim("Exosx12 HDD", "1.14 g/GB",
+                     util::formatSig(
+                         data::storageOrDie("Exosx12").cps.value(), 3) +
+                         " g/GB");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

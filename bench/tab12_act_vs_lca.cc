@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Table 12: IC-level comparison of published LCA estimates against ACT
+ * evaluated at (1) the dated node the LCA database assumed and (2) the
+ * hardware's actual node -- for the Dell R740, Fairphone 3, and
+ * iPhone 11. The headline: LCA databases built on decade-old process
+ * data grossly overstate modern memory/storage footprints.
+ */
+
+#include <iostream>
+
+#include "core/embodied.h"
+#include "report/experiment.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace act;
+
+struct ComparisonRow
+{
+    const char *ic;
+    const char *device;
+    const char *lca_node;
+    double lca_kg;       // published LCA estimate
+    const char *node1;   // ACT evaluated at the LCA's dated node
+    const char *node2;   // ACT evaluated at the actual node
+    double paper_act1_kg;
+    double paper_act2_kg;
+    /** Evaluate with this library's model. Storage rows use capacity x
+     *  CPS; logic rows use Eq. 4 over the die area. */
+    double capacity_gb;      // 0 for logic rows
+    double logic_area_mm2;   // 0 for storage rows
+    double node1_nm;         // logic only
+    double node2_nm;         // logic only
+};
+
+const ComparisonRow kRows[] = {
+    {"RAM", "Dell R740 (384GB)", "50nm DDR3", 533.0, "50nm DDR3",
+     "10nm DDR4", 329.0, 64.0, 384.0, 0.0, 0.0, 0.0},
+    {"RAM", "Fairphone 3 (4GB)", "50nm DDR3", -1.0, "50nm DDR3",
+     "10nm DDR4", 2.9, 0.5, 4.0, 0.0, 0.0, 0.0},
+    {"Flash", "Dell R740 (31TB)", "45nm NAND", 3373.0, "30nm NAND",
+     "V3 NAND TLC", 1440.0, 583.0, 30720.0, 0.0, 0.0, 0.0},
+    {"Flash", "Dell R740 (400GB)", "45nm NAND", 67.0, "30nm NAND",
+     "V3 NAND TLC", 63.0, 14.0, 400.0, 0.0, 0.0, 0.0},
+    {"Flash", "Fairphone 3 (64GB)", "50nm NAND", -1.0, "30nm NAND",
+     "V3 NAND TLC", 2.3, 0.9, 64.0, 0.0, 0.0, 0.0},
+    {"Flash", "iPhone 11 (64GB)", "-", 0.56, "10nm NAND", "V3 NAND TLC",
+     0.6, 0.48, 64.0, 0.0, 0.0, 0.0},
+    {"CPU", "Dell R740 (2x Xeon)", "32nm", 47.0, "28nm", "14nm", 22.0,
+     27.0, 0.0, 2.0 * 694.0, 28.0, 14.0},
+    {"CPU", "Fairphone 3", "32nm", 1.07, "28nm", "14nm", 0.9, 1.1, 0.0,
+     70.0, 28.0, 14.0},
+    {"Other ICs", "Fairphone 3", "32nm", 5.3, "28nm", "14nm", 5.6, 6.2,
+     0.0, 470.0, 28.0, 14.0},
+};
+
+double
+evaluateKg(const ComparisonRow &row, bool actual_node)
+{
+    const core::FabParams fab;
+    if (row.capacity_gb > 0.0) {
+        const char *technology = actual_node ? row.node2 : row.node1;
+        return util::asKilograms(core::storageEmbodied(
+            util::gigabytes(row.capacity_gb), technology));
+    }
+    return util::asKilograms(core::logicEmbodied(
+        util::squareMillimeters(row.logic_area_mm2),
+        actual_node ? row.node2_nm : row.node1_nm, fab));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = report::parseOptions(argc, argv);
+    report::Experiment experiment(
+        "Table 12", "IC-level LCA vs ACT comparison");
+
+    util::Table table({"IC", "Device", "LCA node", "LCA kg",
+                       "ACT node 1", "kg (paper)", "kg (ours)",
+                       "ACT node 2", "kg (paper)", "kg (ours)"});
+    util::CsvWriter csv({"ic", "device", "lca_kg", "act_node1_kg",
+                         "act_node2_kg"});
+    for (const auto &row : kRows) {
+        const double ours1 = evaluateKg(row, false);
+        const double ours2 = evaluateKg(row, true);
+        table.addRow({row.ic, row.device, row.lca_node,
+                      row.lca_kg < 0.0 ? "-"
+                                       : util::formatSig(row.lca_kg, 4),
+                      row.node1, util::formatSig(row.paper_act1_kg, 4),
+                      util::formatSig(ours1, 4), row.node2,
+                      util::formatSig(row.paper_act2_kg, 4),
+                      util::formatSig(ours2, 4)});
+        csv.addRow({row.ic, row.device,
+                    util::formatSig(row.lca_kg, 5),
+                    util::formatSig(ours1, 5),
+                    util::formatSig(ours2, 5)});
+    }
+    std::cout << table.render();
+
+    // The structural claims: LCA estimates built on dated nodes exceed
+    // ACT's dated-node estimates, which exceed actual-node estimates
+    // for memory/storage.
+    bool ordering_holds = true;
+    for (const auto &row : kRows) {
+        if (row.capacity_gb <= 0.0 || row.lca_kg <= 0.0)
+            continue;
+        if (std::string(row.ic) == "Flash" &&
+            std::string(row.device).find("iPhone") != std::string::npos)
+            continue;  // the iPhone row's LCA value is ACT-derived
+        ordering_holds = ordering_holds &&
+                         row.lca_kg > evaluateKg(row, false) &&
+                         evaluateKg(row, false) > evaluateKg(row, true);
+    }
+    experiment.claim("LCA > ACT(dated node) > ACT(actual node) for "
+                     "memory/storage",
+                     "yes", ordering_holds ? "yes" : "no");
+    experiment.claim(
+        "Dell R740 RAM at actual node", "64 kg (paper)",
+        util::formatSig(evaluateKg(kRows[0], true), 3) + " kg");
+    experiment.note("paper ACT values embed additional per-device "
+                    "overheads (controller DRAM, packaging) that the "
+                    "pure capacity x CPS terms exclude; shapes and "
+                    "orderings match (see EXPERIMENTS.md)");
+
+    if (options.csv)
+        std::cout << csv.toString();
+    return 0;
+}

@@ -1,0 +1,117 @@
+#include "accel/network.h"
+
+namespace act::accel {
+
+std::int64_t
+ConvLayer::macs() const
+{
+    return static_cast<std::int64_t>(out_height) * out_width *
+           in_channels * out_channels * kernel * kernel;
+}
+
+std::int64_t
+Network::totalMacs() const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.macs();
+    return total;
+}
+
+namespace {
+
+/** Append a DenseNet-style block: @p layers 3x3 convs with growth-rate
+ *  output width, input channels accumulating by concatenation. */
+void
+appendDenseBlock(Network &network, const std::string &prefix, int size,
+                 int in_channels, int growth, int layers)
+{
+    int channels = in_channels;
+    for (int i = 0; i < layers; ++i) {
+        network.layers.push_back({prefix + std::to_string(i + 1), size,
+                                  size, channels, growth, 3});
+        channels += growth;
+    }
+}
+
+Network
+buildReferenceNetwork()
+{
+    // A ~4.8 GMAC/frame 224x224 DenseNet-style backbone with growth
+    // rate 48. Narrow per-layer output widths map perfectly onto small
+    // output-channel atomics (Katom <= 16) but lose ~25% utilization at
+    // Katom = 32 and more at Catom = 64 -- the mechanism behind the
+    // diminishing returns of wide NVDLA configurations (Fig. 12).
+    Network network;
+    network.name = "dense-vision-backbone";
+
+    // Stem.
+    network.layers.push_back({"stem1", 112, 112, 3, 64, 3});
+    network.layers.push_back({"stem2", 56, 56, 64, 96, 3});
+    network.layers.push_back({"stem3", 56, 56, 96, 96, 3});
+    network.layers.push_back({"stem4", 56, 56, 96, 48, 3});
+    network.layers.push_back({"stem5", 56, 56, 48, 96, 3});
+
+    // Dense block 1 at 28x28: 16 layers, 96 -> 864 channels.
+    appendDenseBlock(network, "dense1_", 28, 96, 48, 16);
+    // 1x1 transition down to 192 channels.
+    network.layers.push_back({"trans1", 28, 28, 864, 192, 1});
+
+    // Dense block 2 at 14x14: 20 layers, 192 -> 1152 channels.
+    appendDenseBlock(network, "dense2_", 14, 192, 48, 20);
+    network.layers.push_back({"trans2", 14, 14, 1152, 512, 1});
+
+    // Deep wide tail.
+    network.layers.push_back({"conv_deep1", 7, 7, 512, 512, 3});
+    network.layers.push_back({"conv_deep2", 7, 7, 512, 512, 3});
+    network.layers.push_back({"fc", 1, 1, 512, 1000, 1});
+    return network;
+}
+
+Network
+buildWideNetwork()
+{
+    // A ResNet-style wide backbone: every channel count is a multiple
+    // of 64, so even the widest atomics map near-perfectly and the
+    // returns from larger arrays diminish much later.
+    Network network;
+    network.name = "wide-vision-backbone";
+    network.layers.push_back({"stem", 112, 112, 3, 64, 3});
+    network.layers.push_back({"conv2a", 56, 56, 64, 64, 3});
+    network.layers.push_back({"conv2b", 56, 56, 64, 64, 3});
+    network.layers.push_back({"conv2c", 56, 56, 64, 128, 3});
+    network.layers.push_back({"conv3a", 28, 28, 128, 128, 3});
+    network.layers.push_back({"conv3b", 28, 28, 128, 128, 3});
+    network.layers.push_back({"conv3c", 28, 28, 128, 256, 3});
+    for (int i = 0; i < 4; ++i) {
+        network.layers.push_back({"conv4_" + std::to_string(i), 14, 14,
+                                  256, 256, 3});
+    }
+    network.layers.push_back({"conv4t", 14, 14, 256, 512, 3});
+    for (int i = 0; i < 3; ++i) {
+        network.layers.push_back({"conv5_" + std::to_string(i), 14, 14,
+                                  512, 512, 3});
+    }
+    network.layers.push_back({"conv6a", 7, 7, 512, 512, 3});
+    network.layers.push_back({"conv6b", 7, 7, 512, 512, 3});
+    network.layers.push_back({"fc", 1, 1, 512, 1000, 1});
+    return network;
+}
+
+} // namespace
+
+const Network &
+referenceVisionNetwork()
+{
+    static const Network network = buildReferenceNetwork();
+    return network;
+}
+
+const Network &
+wideVisionNetwork()
+{
+    static const Network network = buildWideNetwork();
+    return network;
+}
+
+} // namespace act::accel

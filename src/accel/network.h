@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Convolutional network descriptors for the NPU case study (Section 7).
+ * The paper drives an NVDLA-based NPU with an image-processing workload
+ * under a 30 FPS QoS target; this module defines layer shapes and a
+ * representative ~7 GMAC/frame vision backbone used by the design-space
+ * studies (DESIGN.md substitution #4).
+ */
+
+#ifndef ACT_ACCEL_NETWORK_H
+#define ACT_ACCEL_NETWORK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace act::accel {
+
+/** One convolutional layer (square kernels and feature maps). */
+struct ConvLayer
+{
+    std::string name;
+    /** Output feature-map height and width. */
+    int out_height = 0;
+    int out_width = 0;
+    int in_channels = 0;
+    int out_channels = 0;
+    /** Kernel size (K x K). */
+    int kernel = 1;
+
+    /** Multiply-accumulate operations for this layer. */
+    std::int64_t macs() const;
+};
+
+/** A whole network. */
+struct Network
+{
+    std::string name;
+    std::vector<ConvLayer> layers;
+
+    /** Total MAC operations per frame. */
+    std::int64_t totalMacs() const;
+};
+
+/**
+ * The representative vision backbone used in the Fig. 12/13 studies:
+ * a 224x224 classification-style network with mixed channel widths
+ * (including non-power-of-two stages) so large MAC arrays see realistic
+ * mapping losses.
+ */
+const Network &referenceVisionNetwork();
+
+/**
+ * A mapper-friendly wide backbone (all channel counts multiples of
+ * 64), used by the Fig. 12 --ablation to show how the carbon-optimal
+ * MAC count depends on the workload's mapping behavior.
+ */
+const Network &wideVisionNetwork();
+
+} // namespace act::accel
+
+#endif // ACT_ACCEL_NETWORK_H

@@ -1,0 +1,539 @@
+#include "config/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace act::config {
+
+JsonParseError::JsonParseError(const std::string &message, int line,
+                               int column)
+    : std::runtime_error(message + " at line " + std::to_string(line) +
+                         ", column " + std::to_string(column)),
+      line_(line), column_(column)
+{}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        skipWhitespace();
+        JsonValue value = parseValue();
+        skipWhitespace();
+        if (!atEnd())
+            raise("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            raise("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    advance()
+    {
+        const char c = peek();
+        ++pos_;
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    [[noreturn]] void
+    raise(const std::string &message) const
+    {
+        throw JsonParseError(message, line_, column_);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (!atEnd() && text_[pos_] != '\n')
+                    advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (atEnd() || text_[pos_] != c)
+            raise(std::string("expected '") + c + "'");
+        advance();
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (!atEnd() && text_[pos_] == c) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue(parseString());
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return JsonValue(nullptr);
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            raise("unexpected character");
+        }
+    }
+
+    void
+    parseLiteral(std::string_view literal)
+    {
+        for (char expected : literal) {
+            if (atEnd() || text_[pos_] != expected)
+                raise(std::string("invalid literal, expected '") +
+                      std::string(literal) + "'");
+            advance();
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        if (peek() == 't') {
+            parseLiteral("true");
+            return JsonValue(true);
+        }
+        parseLiteral("false");
+        return JsonValue(false);
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (consumeIf('-')) {}
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(
+                               text_[pos_]))) {
+            advance();
+        }
+        if (consumeIf('.')) {
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_]))) {
+                advance();
+            }
+        }
+        if (!atEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            advance();
+            if (!atEnd() && (text_[pos_] == '+' || text_[pos_] == '-'))
+                advance();
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(
+                                   text_[pos_]))) {
+                advance();
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        try {
+            std::size_t consumed = 0;
+            const double value = std::stod(token, &consumed);
+            if (consumed != token.size())
+                raise("malformed number '" + token + "'");
+            return JsonValue(value);
+        } catch (const std::logic_error &) {
+            raise("malformed number '" + token + "'");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (atEnd())
+                raise("unterminated string");
+            const char c = advance();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                const char escape = advance();
+                switch (escape) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': out += parseUnicodeEscape(); break;
+                  default: raise("invalid escape sequence");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = advance();
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                raise("invalid \\u escape");
+        }
+        // Encode as UTF-8 (basic multilingual plane only; surrogate
+        // pairs are not needed for ACT config files).
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonArray array;
+        skipWhitespace();
+        if (consumeIf(']'))
+            return JsonValue(std::move(array));
+        while (true) {
+            array.push_back(parseValue());
+            skipWhitespace();
+            if (consumeIf(',')) {
+                skipWhitespace();
+                if (consumeIf(']'))  // trailing comma
+                    return JsonValue(std::move(array));
+                continue;
+            }
+            expect(']');
+            return JsonValue(std::move(array));
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonObject object;
+        skipWhitespace();
+        if (consumeIf('}'))
+            return JsonValue(std::move(object));
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            object[std::move(key)] = parseValue();
+            skipWhitespace();
+            if (consumeIf(',')) {
+                skipWhitespace();
+                if (consumeIf('}'))  // trailing comma
+                    return JsonValue(std::move(object));
+                continue;
+            }
+            expect('}');
+            return JsonValue(std::move(object));
+        }
+    }
+};
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double value)
+{
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+        out += buffer;
+    } else {
+        char buffer[40];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+        out += buffer;
+    }
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool())
+        throw JsonTypeError("JSON value is not a boolean");
+    return std::get<bool>(data_);
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber())
+        throw JsonTypeError("JSON value is not a number");
+    return std::get<double>(data_);
+}
+
+std::int64_t
+JsonValue::asInteger() const
+{
+    const double value = asNumber();
+    if (value != std::floor(value))
+        throw JsonTypeError("JSON number is not integral");
+    return static_cast<std::int64_t>(value);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        throw JsonTypeError("JSON value is not a string");
+    return std::get<std::string>(data_);
+}
+
+const JsonArray &
+JsonValue::asArray() const
+{
+    if (!isArray())
+        throw JsonTypeError("JSON value is not an array");
+    return std::get<JsonArray>(data_);
+}
+
+JsonArray &
+JsonValue::asArray()
+{
+    if (!isArray())
+        throw JsonTypeError("JSON value is not an array");
+    return std::get<JsonArray>(data_);
+}
+
+const JsonObject &
+JsonValue::asObject() const
+{
+    if (!isObject())
+        throw JsonTypeError("JSON value is not an object");
+    return std::get<JsonObject>(data_);
+}
+
+JsonObject &
+JsonValue::asObject()
+{
+    if (!isObject())
+        throw JsonTypeError("JSON value is not an object");
+    return std::get<JsonObject>(data_);
+}
+
+bool
+JsonValue::contains(const std::string &key) const
+{
+    return isObject() && asObject().count(key) > 0;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonObject &object = asObject();
+    const auto it = object.find(key);
+    if (it == object.end())
+        throw JsonTypeError("missing JSON key '" + key + "'");
+    return it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    return contains(key) ? at(key).asNumber() : fallback;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    return contains(key) ? at(key).asBool() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key, const std::string &fallback) const
+{
+    return contains(key) ? at(key).asString() : fallback;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string newline = indent > 0 ? "\n" : "";
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     (static_cast<std::size_t>(depth) + 1),
+                                 ' ')
+                   : "";
+    const std::string close_pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     static_cast<std::size_t>(depth),
+                                 ' ')
+                   : "";
+
+    if (isNull()) {
+        out += "null";
+    } else if (isBool()) {
+        out += asBool() ? "true" : "false";
+    } else if (isNumber()) {
+        appendNumber(out, asNumber());
+    } else if (isString()) {
+        appendEscaped(out, asString());
+    } else if (isArray()) {
+        const JsonArray &array = asArray();
+        if (array.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += newline + pad;
+            array[i].dumpTo(out, indent, depth + 1);
+        }
+        out += newline + close_pad + ']';
+    } else {
+        const JsonObject &object = asObject();
+        if (object.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : object) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += newline + pad;
+            appendEscaped(out, key);
+            out += indent > 0 ? ": " : ":";
+            value.dumpTo(out, indent, depth + 1);
+        }
+        out += newline + close_pad + '}';
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    Parser parser(text);
+    return parser.parseDocument();
+}
+
+JsonValue
+loadJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open JSON file '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return JsonValue::parse(buffer.str());
+}
+
+void
+saveJsonFile(const std::string &path, const JsonValue &value, int indent)
+{
+    std::ofstream out(path);
+    if (!out)
+        util::fatal("cannot write JSON file '", path, "'");
+    out << value.dump(indent) << '\n';
+}
+
+} // namespace act::config

@@ -1,0 +1,79 @@
+#include "core/chiplet.h"
+
+#include "core/embodied.h"
+#include "util/logging.h"
+
+namespace act::core {
+
+ChipletPoint
+evaluateChiplets(util::Area logic_area, int num_chiplets, double nm,
+                 const FabParams &fab, const ChipletParams &params)
+{
+    if (num_chiplets < 1)
+        util::fatal("chiplet count must be >= 1, got ", num_chiplets);
+    if (util::asSquareCentimeters(logic_area) <= 0.0)
+        util::fatal("logic area must be positive");
+
+    ChipletPoint point;
+    point.num_chiplets = num_chiplets;
+
+    const double n = static_cast<double>(num_chiplets);
+    const double interface_scale =
+        1.0 + params.interface_overhead * (n - 1.0) / n;
+    point.chiplet_area = logic_area * (interface_scale / n);
+    point.chiplet_yield = dieYield(point.chiplet_area, params.defects);
+    point.effective_silicon =
+        effectiveAreaPerGoodDie(point.chiplet_area, params.defects) * n;
+
+    // CPA without the yield divisor: the defect model replaces the
+    // scalar yield term of Eq. 5, so evaluate at Y = 1 and charge the
+    // effective (yielded) silicon area instead.
+    FabParams perfect_yield = fab;
+    perfect_yield.yield = 1.0;
+    point.silicon_embodied =
+        carbonPerArea(perfect_yield, nm) * point.effective_silicon;
+
+    if (num_chiplets > 1 && params.interposer_area_factor > 0.0) {
+        const util::Area interposer_area =
+            logic_area * interface_scale * params.interposer_area_factor;
+        point.interposer_embodied =
+            carbonPerArea(perfect_yield, params.interposer_node_nm) *
+            interposer_area;
+    }
+
+    // One package plus an assembly increment per extra chiplet.
+    point.assembly_embodied =
+        kPackagingFootprint +
+        kPackagingFootprint *
+            (params.assembly_overhead_fraction * (n - 1.0));
+    return point;
+}
+
+std::vector<ChipletPoint>
+chipletSweep(util::Area logic_area, double nm, const FabParams &fab,
+             const ChipletParams &params, int max_chiplets)
+{
+    if (max_chiplets < 1)
+        util::fatal("max chiplet count must be >= 1");
+    std::vector<ChipletPoint> sweep;
+    sweep.reserve(static_cast<std::size_t>(max_chiplets));
+    for (int n = 1; n <= max_chiplets; ++n)
+        sweep.push_back(
+            evaluateChiplets(logic_area, n, nm, fab, params));
+    return sweep;
+}
+
+std::size_t
+optimalChipletCount(const std::vector<ChipletPoint> &sweep)
+{
+    if (sweep.empty())
+        util::fatal("optimalChipletCount() on an empty sweep");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].total() < sweep[best].total())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace act::core

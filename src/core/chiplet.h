@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chiplet-vs-monolithic embodied-carbon analysis — the "chiplet
+ * design" item the paper lists under the Reuse tenet (Fig. 1).
+ *
+ * Splitting a large die into N chiplets improves per-die yield (the
+ * defect models in yield.h are super-linear in area) at the cost of
+ * die-to-die interface area, a packaging/interposer overhead, and one
+ * package-assembly step per chiplet. The model makes that trade-off
+ * explicit in carbon terms:
+ *
+ *   ECF(N) = N * [A_chiplet(N) / Y(A_chiplet(N))] * CPA
+ *          + interposer(N) + assembly(N)
+ *   A_chiplet(N) = A_logic / N * (1 + beachfront overhead)
+ */
+
+#ifndef ACT_CORE_CHIPLET_H
+#define ACT_CORE_CHIPLET_H
+
+#include <vector>
+
+#include "core/fab_params.h"
+#include "core/yield.h"
+#include "util/units.h"
+
+namespace act::core {
+
+/** Chiplet partitioning cost model. */
+struct ChipletParams
+{
+    DefectParams defects{};
+    /** Fractional die-area overhead per split for die-to-die PHYs and
+     *  duplicated infrastructure ("beachfront"); applied per chiplet
+     *  as (1 + overhead * (N - 1) / N) so N = 1 has none. */
+    double interface_overhead = 0.10;
+    /** Silicon interposer / advanced substrate area as a multiple of
+     *  the aggregate chiplet area (0 disables; ~0.1 for organic
+     *  substrates, ~1.1 for full silicon interposers). */
+    double interposer_area_factor = 0.10;
+    /** The interposer is manufactured in a mature, cheap node. */
+    double interposer_node_nm = 28.0;
+    /** Extra assembly carbon per chiplet beyond the first package
+     *  (fraction of Kr). */
+    double assembly_overhead_fraction = 0.5;
+};
+
+/** One partitioning choice evaluated. */
+struct ChipletPoint
+{
+    int num_chiplets = 1;
+    util::Area chiplet_area{};
+    double chiplet_yield = 0.0;
+    /** Good silicon charged per system (sum of A/Y over chiplets). */
+    util::Area effective_silicon{};
+    util::Mass silicon_embodied{};
+    util::Mass interposer_embodied{};
+    util::Mass assembly_embodied{};
+
+    util::Mass total() const
+    {
+        return silicon_embodied + interposer_embodied +
+               assembly_embodied;
+    }
+};
+
+/**
+ * Evaluate one partitioning of @p logic_area into @p num_chiplets
+ * equal chiplets at process node @p nm. Fatal for num_chiplets < 1.
+ */
+ChipletPoint evaluateChiplets(util::Area logic_area, int num_chiplets,
+                              double nm, const FabParams &fab,
+                              const ChipletParams &params);
+
+/** Sweep 1..max_chiplets partitions. */
+std::vector<ChipletPoint>
+chipletSweep(util::Area logic_area, double nm, const FabParams &fab,
+             const ChipletParams &params, int max_chiplets = 8);
+
+/** Index of the carbon-minimal partitioning in a sweep. */
+std::size_t optimalChipletCount(const std::vector<ChipletPoint> &sweep);
+
+} // namespace act::core
+
+#endif // ACT_CORE_CHIPLET_H

@@ -1,0 +1,148 @@
+#include "core/embodied.h"
+
+#include <algorithm>
+
+#include "util/interp.h"
+#include "util/logging.h"
+
+namespace act::core {
+
+using util::Area;
+using util::Capacity;
+using util::CarbonPerArea;
+using util::CarbonPerCapacity;
+using util::gramsPerCm2;
+using util::Mass;
+
+namespace {
+
+void
+checkYield(double yield)
+{
+    if (!(yield > 0.0 && yield <= 1.0))
+        util::fatal("fab yield must be in (0, 1], got ", yield);
+}
+
+CarbonPerArea
+cpaFromIntensities(const FabParams &fab, util::EnergyPerArea epa,
+                   CarbonPerArea gpa)
+{
+    checkYield(fab.yield);
+    const CarbonPerArea fab_energy_carbon = fab.ci_fab * epa;
+    const data::FabDatabase &db = data::FabDatabase::instance();
+    const CarbonPerArea numerator = fab_energy_carbon + gpa + db.mpa();
+    return numerator / fab.yield;
+}
+
+} // namespace
+
+CarbonPerArea
+carbonPerArea(const FabParams &fab, double nm)
+{
+    const data::FabDatabase &db = data::FabDatabase::instance();
+    return cpaFromIntensities(fab, db.epa(nm, fab.lookup),
+                              db.gpa(nm, fab.abatement, fab.lookup));
+}
+
+CarbonPerArea
+carbonPerAreaNamed(const FabParams &fab, std::string_view node_name)
+{
+    const data::FabDatabase &db = data::FabDatabase::instance();
+    const auto record = db.findByName(node_name);
+    if (!record)
+        util::fatal("unknown fab node '", std::string(node_name), "'");
+    // The named row pins EPA; GPA still honors the abatement setting.
+    const double t = (fab.abatement - 0.95) / (0.99 - 0.95);
+    const CarbonPerArea gpa = gramsPerCm2(std::max(
+        0.0, util::lerp(record->gpa_abated_95.value(),
+                        record->gpa_abated_99.value(), t)));
+    return cpaFromIntensities(fab, record->epa, gpa);
+}
+
+Mass
+logicEmbodied(Area area, double nm, const FabParams &fab)
+{
+    return carbonPerArea(fab, nm) * area;
+}
+
+Mass
+storageEmbodied(Capacity capacity, CarbonPerCapacity cps)
+{
+    return cps * capacity;
+}
+
+Mass
+storageEmbodied(Capacity capacity, std::string_view technology)
+{
+    return storageEmbodied(capacity,
+                           data::storageOrDie(technology).cps);
+}
+
+Mass
+packagingEmbodied(int package_count)
+{
+    if (package_count < 0)
+        util::fatal("negative package count ", package_count);
+    return kPackagingFootprint * static_cast<double>(package_count);
+}
+
+Mass
+DeviceFootprint::componentTotal() const
+{
+    Mass total{};
+    for (const auto &component : components)
+        total += component.embodied;
+    return total;
+}
+
+Mass
+DeviceFootprint::total() const
+{
+    return componentTotal() + packaging;
+}
+
+Mass
+DeviceFootprint::categoryTotal(data::IcCategory category) const
+{
+    Mass total{};
+    for (const auto &component : components) {
+        if (component.category == category)
+            total += component.embodied;
+    }
+    return total;
+}
+
+EmbodiedModel::EmbodiedModel(FabParams fab) : fab_(fab) {}
+
+Mass
+EmbodiedModel::icEmbodied(const data::IcComponent &ic) const
+{
+    switch (ic.kind) {
+      case data::IcKind::Logic:
+        if (!ic.fab_node_name.empty()) {
+            return carbonPerAreaNamed(fab_, ic.fab_node_name) * ic.area;
+        }
+        return logicEmbodied(ic.area, ic.node_nm, fab_);
+      case data::IcKind::Dram:
+      case data::IcKind::Nand:
+      case data::IcKind::Hdd:
+        return storageEmbodied(ic.capacity, ic.technology);
+    }
+    util::panic("unknown IcKind enumerator");
+}
+
+DeviceFootprint
+EmbodiedModel::evaluate(const data::DeviceRecord &device) const
+{
+    DeviceFootprint footprint;
+    footprint.components.reserve(device.ics.size());
+    for (const auto &ic : device.ics) {
+        footprint.components.push_back(
+            {ic.name, ic.category, icEmbodied(ic)});
+        footprint.package_count += ic.package_count;
+    }
+    footprint.packaging = packagingEmbodied(footprint.package_count);
+    return footprint;
+}
+
+} // namespace act::core

@@ -1,0 +1,29 @@
+#include "core/fab_params.h"
+
+namespace act::core {
+
+FabParams
+FabParams::taiwanGrid()
+{
+    FabParams params;
+    params.ci_fab = data::regionIntensity(data::Region::Taiwan);
+    return params;
+}
+
+FabParams
+FabParams::renewable()
+{
+    FabParams params;
+    params.ci_fab = data::sourceIntensity(data::EnergySource::Solar);
+    return params;
+}
+
+FabParams
+FabParams::withIntensity(util::CarbonIntensity ci)
+{
+    FabParams params;
+    params.ci_fab = ci;
+    return params;
+}
+
+} // namespace act::core

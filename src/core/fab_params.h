@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fab-side model parameters of Table 1: the fab carbon intensity
+ * (CI_fab), gaseous abatement, yield (Y), and node-lookup policy that
+ * together determine the carbon-per-area (CPA) of Eq. 5.
+ */
+
+#ifndef ACT_CORE_FAB_PARAMS_H
+#define ACT_CORE_FAB_PARAMS_H
+
+#include "data/carbon_intensity_db.h"
+#include "data/fab_db.h"
+#include "util/units.h"
+
+namespace act::core {
+
+/**
+ * Parameters describing the semiconductor fab manufacturing a die.
+ * Defaults reproduce the paper's baseline: a fab on the Taiwan grid
+ * with 25% renewable procurement, TSMC's 97% gaseous abatement, and
+ * the released tool's 0.875 yield.
+ */
+struct FabParams
+{
+    util::CarbonIntensity ci_fab = data::defaultFabIntensity();
+    double abatement = data::FabDatabase::kDefaultAbatement;
+    double yield = data::FabDatabase::kDefaultYield;
+    data::NodeLookup lookup = data::NodeLookup::Interpolate;
+
+    /** Fab fully powered by the Taiwan grid (Fig. 6 upper bound). */
+    static FabParams taiwanGrid();
+    /** Fab fully powered by solar (Fig. 6 lower bound). */
+    static FabParams renewable();
+    /** Fab powered by an arbitrary carbon intensity. */
+    static FabParams withIntensity(util::CarbonIntensity ci);
+};
+
+} // namespace act::core
+
+#endif // ACT_CORE_FAB_PARAMS_H

@@ -1,0 +1,46 @@
+#include "core/footprint.h"
+
+#include "util/logging.h"
+
+namespace act::core {
+
+double
+CarbonFootprint::embodiedShare() const
+{
+    const double total_grams = util::asGrams(total());
+    if (total_grams == 0.0)
+        return 0.0;
+    return util::asGrams(embodied_allocated) / total_grams;
+}
+
+CarbonFootprint
+combineFootprint(util::Mass operational, util::Mass embodied_total,
+                 util::Duration execution_time, util::Duration lifetime)
+{
+    if (util::asSeconds(lifetime) <= 0.0)
+        util::fatal("hardware lifetime must be positive");
+    if (util::asSeconds(execution_time) < 0.0)
+        util::fatal("execution time must be non-negative");
+    if (execution_time > lifetime) {
+        util::fatal("execution time (", util::asSeconds(execution_time),
+                    " s) exceeds hardware lifetime (",
+                    util::asSeconds(lifetime), " s)");
+    }
+
+    CarbonFootprint footprint;
+    footprint.operational = operational;
+    footprint.embodied_allocated =
+        embodied_total * (execution_time / lifetime);
+    return footprint;
+}
+
+CarbonFootprint
+lifetimeFootprint(util::Mass operational, util::Mass embodied_total)
+{
+    CarbonFootprint footprint;
+    footprint.operational = operational;
+    footprint.embodied_allocated = embodied_total;
+    return footprint;
+}
+
+} // namespace act::core

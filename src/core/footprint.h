@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Eq. 1, the top of the ACT model:
+ *
+ *   CF = OPCF + (T / LT) * ECF
+ *
+ * The embodied footprint is amortized over the hardware lifetime LT and
+ * charged to an application in proportion to its execution time T.
+ */
+
+#ifndef ACT_CORE_FOOTPRINT_H
+#define ACT_CORE_FOOTPRINT_H
+
+#include "util/units.h"
+
+namespace act::core {
+
+/** The result of an Eq. 1 evaluation, keeping both terms visible. */
+struct CarbonFootprint
+{
+    util::Mass operational{};
+    /** The lifetime-allocated share (T/LT) of embodied emissions. */
+    util::Mass embodied_allocated{};
+
+    util::Mass total() const { return operational + embodied_allocated; }
+
+    /** Fraction of the total owed to embodied emissions; 0 when the
+     *  total is zero. */
+    double embodiedShare() const;
+};
+
+/**
+ * Eq. 1. @p execution_time is the application run time T; @p lifetime
+ * is the hardware lifetime LT (the paper cites 3-5 years for servers
+ * and 2-3 years for mobile). Fatal when LT <= 0 or T < 0; T may exceed
+ * LT only if the caller models whole-lifetime usage (T == LT).
+ */
+CarbonFootprint combineFootprint(util::Mass operational,
+                                 util::Mass embodied_total,
+                                 util::Duration execution_time,
+                                 util::Duration lifetime);
+
+/** Whole-lifetime footprint: Eq. 1 with T = LT. */
+CarbonFootprint lifetimeFootprint(util::Mass operational,
+                                  util::Mass embodied_total);
+
+} // namespace act::core
+
+#endif // ACT_CORE_FOOTPRINT_H

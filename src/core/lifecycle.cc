@@ -1,0 +1,52 @@
+#include "core/lifecycle.h"
+
+#include "util/logging.h"
+
+namespace act::core {
+
+double
+LifecycleEstimate::manufacturingShare() const
+{
+    const double total_grams = util::asGrams(total());
+    if (total_grams == 0.0)
+        return 0.0;
+    return util::asGrams(manufacturing()) / total_grams;
+}
+
+LifecycleEstimate
+estimateLifecycle(const data::DeviceRecord &device, const FabParams &fab)
+{
+    if (device.ics.empty())
+        util::fatal("device '", device.name, "' has no modeled BOM");
+    const double ic_share = device.lca.ic_share_of_production;
+    if (!(ic_share > 0.0 && ic_share <= 1.0))
+        util::fatal("device '", device.name,
+                    "' has no usable IC share of production");
+    if (device.lca.production_share <= 0.0)
+        util::fatal("device '", device.name,
+                    "' has no production share");
+
+    const EmbodiedModel model(fab);
+
+    LifecycleEstimate estimate;
+    estimate.ic_manufacturing = model.evaluate(device).total();
+    // The published LCA says ICs are `ic_share` of production, so the
+    // non-IC remainder scales the bottom-up IC estimate accordingly.
+    estimate.other_manufacturing =
+        estimate.ic_manufacturing * ((1.0 - ic_share) / ic_share);
+
+    // Transport / use / end-of-life keep their published proportion to
+    // production, re-anchored on the modeled manufacturing estimate.
+    const double per_production_share =
+        util::asGrams(estimate.manufacturing()) /
+        device.lca.production_share;
+    estimate.transport =
+        util::grams(per_production_share * device.lca.transport_share);
+    estimate.use =
+        util::grams(per_production_share * device.lca.use_share);
+    estimate.end_of_life =
+        util::grams(per_production_share * device.lca.eol_share);
+    return estimate;
+}
+
+} // namespace act::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Whole-device life-cycle estimation across the four phases of Fig. 3
+ * (manufacturing, transport, use, end-of-life).
+ *
+ * ACT models the IC slice of manufacturing bottom-up (Eq. 3-8); the
+ * remaining phases come from the device's published LCA structure: the
+ * non-IC production share scales the ACT IC estimate, and transport /
+ * use / end-of-life apply the published shares. This produces a full
+ * product footprint that stays *anchored* to the architectural model,
+ * so hardware changes (a smaller die, newer DRAM) propagate into the
+ * product-level estimate -- exactly what top-down LCAs cannot do.
+ */
+
+#ifndef ACT_CORE_LIFECYCLE_H
+#define ACT_CORE_LIFECYCLE_H
+
+#include "core/embodied.h"
+#include "data/device_db.h"
+
+namespace act::core {
+
+/** Full life-cycle estimate for one device. */
+struct LifecycleEstimate
+{
+    /** ACT bottom-up IC manufacturing footprint (Eq. 3). */
+    util::Mass ic_manufacturing{};
+    /** Non-IC production (PCBs, display, battery, enclosure), scaled
+     *  from the LCA's IC share of production. */
+    util::Mass other_manufacturing{};
+    util::Mass transport{};
+    util::Mass use{};
+    util::Mass end_of_life{};
+
+    util::Mass manufacturing() const
+    { return ic_manufacturing + other_manufacturing; }
+
+    util::Mass total() const
+    {
+        return manufacturing() + transport + use + end_of_life;
+    }
+
+    /** Fraction of the total owed to manufacturing. */
+    double manufacturingShare() const;
+};
+
+/**
+ * Estimate the whole-device life cycle: ICs bottom-up under @p fab,
+ * other phases scaled from the device's published LCA structure.
+ * Fatal when the device has no modeled BOM or no usable LCA shares.
+ */
+LifecycleEstimate estimateLifecycle(const data::DeviceRecord &device,
+                                    const FabParams &fab);
+
+} // namespace act::core
+
+#endif // ACT_CORE_LIFECYCLE_H

@@ -1,0 +1,137 @@
+#include "core/metrics.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace act::core {
+
+namespace {
+
+constexpr std::array<Metric, 6> kAllMetrics = {
+    Metric::EDP, Metric::EDAP, Metric::CDP,
+    Metric::CEP, Metric::C2EP, Metric::CE2P,
+};
+
+constexpr std::array<Metric, 4> kCarbonMetrics = {
+    Metric::CDP, Metric::CEP, Metric::C2EP, Metric::CE2P,
+};
+
+} // namespace
+
+std::span<const Metric>
+allMetrics()
+{
+    return kAllMetrics;
+}
+
+std::span<const Metric>
+carbonMetrics()
+{
+    return kCarbonMetrics;
+}
+
+std::string_view
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::EDP: return "EDP";
+      case Metric::EDAP: return "EDAP";
+      case Metric::CDP: return "CDP";
+      case Metric::CEP: return "CEP";
+      case Metric::C2EP: return "C2EP";
+      case Metric::CE2P: return "CE2P";
+    }
+    util::panic("unknown Metric enumerator");
+}
+
+std::string_view
+metricUseCase(Metric metric)
+{
+    switch (metric) {
+      case Metric::EDP:
+        return "Energy optimization (e.g., mobile)";
+      case Metric::EDAP:
+        return "Energy and cost optimization (e.g., mobile)";
+      case Metric::CDP:
+        return "Balance CO2 and perf. (e.g., sustainable data center)";
+      case Metric::CEP:
+        return "Balance CO2 and energy (e.g., sustainable mobile device)";
+      case Metric::C2EP:
+        return "Sustainable device dominated by embodied footprint";
+      case Metric::CE2P:
+        return "Sustainable device dominated by operational footprint";
+    }
+    util::panic("unknown Metric enumerator");
+}
+
+bool
+isCarbonAware(Metric metric)
+{
+    for (Metric m : kCarbonMetrics) {
+        if (m == metric)
+            return true;
+    }
+    return false;
+}
+
+double
+evaluateMetric(Metric metric, const DesignPoint &point)
+{
+    const double carbon = util::asGrams(point.embodied);
+    const double energy = util::asKilowattHours(point.energy);
+    const double delay = util::asSeconds(point.delay);
+    const double area = util::asSquareCentimeters(point.area);
+
+    switch (metric) {
+      case Metric::EDP:
+        return energy * delay;
+      case Metric::EDAP:
+        return energy * delay * area;
+      case Metric::CDP:
+        return carbon * delay;
+      case Metric::CEP:
+        return carbon * energy;
+      case Metric::C2EP:
+        return carbon * carbon * energy;
+      case Metric::CE2P:
+        return carbon * energy * energy;
+    }
+    util::panic("unknown Metric enumerator");
+}
+
+std::size_t
+bestDesign(Metric metric, std::span<const DesignPoint> points)
+{
+    if (points.empty())
+        util::fatal("bestDesign() over an empty design space");
+    std::size_t best = 0;
+    double best_value = evaluateMetric(metric, points[0]);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const double value = evaluateMetric(metric, points[i]);
+        if (value < best_value) {
+            best_value = value;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<double>
+normalizedMetric(Metric metric, std::span<const DesignPoint> points,
+                 std::size_t baseline_index)
+{
+    if (baseline_index >= points.size())
+        util::fatal("normalizedMetric() baseline index out of range");
+    const double baseline =
+        evaluateMetric(metric, points[baseline_index]);
+    if (baseline == 0.0)
+        util::fatal("normalizedMetric() with a zero baseline value");
+    std::vector<double> normalized;
+    normalized.reserve(points.size());
+    for (const auto &point : points)
+        normalized.push_back(evaluateMetric(metric, point) / baseline);
+    return normalized;
+}
+
+} // namespace act::core

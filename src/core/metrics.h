@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The carbon-aware optimization metrics of Section 3.2 / Table 2.
+ *
+ * Alongside the classic EDP and EDAP, ACT introduces four carbon
+ * metrics over embodied carbon C, energy E, and delay D:
+ *   CDP  = C * D        (sustainable data centers)
+ *   CEP  = C * E        (sustainable mobile devices)
+ *   C2EP = C^2 * E      (embodied-dominated devices)
+ *   CE2P = C * E^2      (operational-dominated devices)
+ */
+
+#ifndef ACT_CORE_METRICS_H
+#define ACT_CORE_METRICS_H
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace act::core {
+
+/** All optimization metrics of Table 2. */
+enum class Metric
+{
+    EDP,
+    EDAP,
+    CDP,
+    CEP,
+    C2EP,
+    CE2P,
+};
+
+/** Every metric, in Table 2 order. */
+std::span<const Metric> allMetrics();
+
+/** Only the carbon-aware metrics introduced by ACT. */
+std::span<const Metric> carbonMetrics();
+
+std::string_view metricName(Metric metric);
+
+/** Table 2 right column. */
+std::string_view metricUseCase(Metric metric);
+
+/** True for CDP/CEP/C2EP/CE2P. */
+bool isCarbonAware(Metric metric);
+
+/**
+ * One hardware design's characteristics, the inputs every metric is
+ * formed from. Delay is per unit of work (e.g. per inference); energy
+ * is per the same unit of work; carbon is the embodied total.
+ */
+struct DesignPoint
+{
+    std::string name;
+    util::Mass embodied{};
+    util::Energy energy{};
+    util::Duration delay{};
+    util::Area area{};
+};
+
+/**
+ * Evaluate a metric (lower is better). Values are products in base
+ * units (g, kWh, s, cm2); they are only meaningful relative to other
+ * designs under the same metric.
+ */
+double evaluateMetric(Metric metric, const DesignPoint &point);
+
+/** Index into @p points of the design minimizing @p metric. */
+std::size_t bestDesign(Metric metric, std::span<const DesignPoint> points);
+
+/** Per-point metric values normalized to @p baseline_index. */
+std::vector<double> normalizedMetric(Metric metric,
+                                     std::span<const DesignPoint> points,
+                                     std::size_t baseline_index);
+
+} // namespace act::core
+
+#endif // ACT_CORE_METRICS_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON (de)serialization for the ACT model parameters, mirroring the
+ * config-file-driven workflow of the released tool. A scenario file
+ * looks like:
+ *
+ *   {
+ *     // fab side (Eq. 5)
+ *     "fab": {"ci_fab_g_per_kwh": 447.5, "abatement": 0.97,
+ *             "yield": 0.875, "lookup": "interpolate"},
+ *     // use side (Eq. 2)
+ *     "operational": {"ci_use_g_per_kwh": 300.0,
+ *                      "utilization_effectiveness": 1.0},
+ *     "lifetime_years": 3.0
+ *   }
+ */
+
+#ifndef ACT_CORE_MODEL_CONFIG_H
+#define ACT_CORE_MODEL_CONFIG_H
+
+#include <string>
+
+#include "config/json.h"
+#include "core/fab_params.h"
+#include "core/operational.h"
+#include "util/units.h"
+
+namespace act::core {
+
+/** A complete model scenario: fab, use phase, and lifetime. */
+struct Scenario
+{
+    FabParams fab;
+    OperationalParams operational;
+    util::Duration lifetime = util::years(3.0);
+};
+
+config::JsonValue toJson(const FabParams &params);
+config::JsonValue toJson(const OperationalParams &params);
+config::JsonValue toJson(const Scenario &scenario);
+
+/** Parse; missing keys keep their defaults, bad values are fatal. */
+FabParams fabParamsFromJson(const config::JsonValue &value);
+OperationalParams operationalParamsFromJson(const config::JsonValue &value);
+Scenario scenarioFromJson(const config::JsonValue &value);
+
+/** Load a scenario config file (fatal on I/O or parse errors). */
+Scenario loadScenario(const std::string &path);
+
+/** Save a scenario config file. */
+void saveScenario(const std::string &path, const Scenario &scenario);
+
+} // namespace act::core
+
+#endif // ACT_CORE_MODEL_CONFIG_H

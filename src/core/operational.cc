@@ -1,0 +1,44 @@
+#include "core/operational.h"
+
+#include "util/logging.h"
+
+namespace act::core {
+
+OperationalParams
+OperationalParams::withIntensity(util::CarbonIntensity ci)
+{
+    OperationalParams params;
+    params.ci_use = ci;
+    return params;
+}
+
+OperationalParams
+OperationalParams::forRegion(data::Region region)
+{
+    return withIntensity(data::regionIntensity(region));
+}
+
+OperationalParams
+OperationalParams::forSource(data::EnergySource source)
+{
+    return withIntensity(data::sourceIntensity(source));
+}
+
+util::Mass
+operationalFootprint(util::Energy energy, const OperationalParams &params)
+{
+    if (params.utilization_effectiveness < 1.0) {
+        util::fatal("utilization effectiveness must be >= 1, got ",
+                    params.utilization_effectiveness);
+    }
+    return params.ci_use * (energy * params.utilization_effectiveness);
+}
+
+util::Mass
+operationalFootprint(util::Power power, util::Duration duration,
+                     const OperationalParams &params)
+{
+    return operationalFootprint(power * duration, params);
+}
+
+} // namespace act::core

@@ -1,0 +1,64 @@
+#include "core/replacement.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace act::core {
+
+ReplacementPoint
+evaluateReplacement(const ReplacementParams &params,
+                    double lifetime_years)
+{
+    if (lifetime_years <= 0.0)
+        util::fatal("lifetime must be positive, got ", lifetime_years);
+    const double g = params.annual_efficiency_improvement;
+    if (g <= 1.0)
+        util::fatal("annual efficiency improvement must exceed 1");
+
+    const double horizon_years = util::asYears(params.horizon);
+    const double units = horizon_years / lifetime_years;
+
+    // Energy over one unit's life relative to its first year: whole
+    // years plus the fractional tail.
+    const double whole_years = std::floor(lifetime_years);
+    double relative_energy = (std::pow(g, whole_years) - 1.0) / (g - 1.0);
+    const double tail = lifetime_years - whole_years;
+    if (tail > 0.0)
+        relative_energy += tail * std::pow(g, whole_years);
+
+    ReplacementPoint point;
+    point.lifetime_years = lifetime_years;
+    point.embodied = params.embodied_per_unit * units;
+    point.operational = operationalFootprint(
+        params.first_year_energy * (units * relative_energy),
+        params.use);
+    return point;
+}
+
+std::vector<ReplacementPoint>
+replacementSweep(const ReplacementParams &params, int max_years)
+{
+    if (max_years < 1)
+        util::fatal("replacement sweep needs max_years >= 1");
+    std::vector<ReplacementPoint> sweep;
+    sweep.reserve(static_cast<std::size_t>(max_years));
+    for (int lifetime = 1; lifetime <= max_years; ++lifetime)
+        sweep.push_back(evaluateReplacement(params, lifetime));
+    return sweep;
+}
+
+std::size_t
+optimalReplacementIndex(const std::vector<ReplacementPoint> &sweep)
+{
+    if (sweep.empty())
+        util::fatal("optimalReplacementIndex() on an empty sweep");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].total() < sweep[best].total())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace act::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The generic hardware replacement-cycle model shared by the Fig. 14
+ * mobile-fleet study and the server-refresh analysis: over a fixed
+ * horizon H with replacement every L years, a fleet incurs
+ *
+ *   embodied(L)    = (H / L) * E_unit
+ *   operational(L) = (H / L) * CI * E_annual * sum_{a=0}^{L-1} g^a
+ *
+ * where g > 1 is the annual energy-efficiency improvement of new
+ * hardware (units keep their purchase-year efficiency while the
+ * workload tracks the frontier, so relative energy grows g^age).
+ */
+
+#ifndef ACT_CORE_REPLACEMENT_H
+#define ACT_CORE_REPLACEMENT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/operational.h"
+#include "util/units.h"
+
+namespace act::core {
+
+/** Replacement-cycle inputs. */
+struct ReplacementParams
+{
+    /** Embodied footprint of one hardware unit. */
+    util::Mass embodied_per_unit{};
+    /** Grid energy a brand-new unit draws per year of service. */
+    util::Energy first_year_energy{};
+    OperationalParams use{};
+    /** Annual efficiency improvement factor of new hardware (> 1). */
+    double annual_efficiency_improvement = 1.21;
+    /** Evaluation horizon. */
+    util::Duration horizon = util::years(10.0);
+};
+
+/** One evaluated replacement interval. */
+struct ReplacementPoint
+{
+    double lifetime_years = 0.0;
+    util::Mass embodied{};
+    util::Mass operational{};
+
+    util::Mass total() const { return embodied + operational; }
+};
+
+/** Evaluate one (possibly fractional) replacement interval; fatal for
+ *  non-positive lifetimes or improvement factors <= 1. */
+ReplacementPoint evaluateReplacement(const ReplacementParams &params,
+                                     double lifetime_years);
+
+/** Sweep integer replacement intervals 1..max_years. */
+std::vector<ReplacementPoint>
+replacementSweep(const ReplacementParams &params, int max_years = 10);
+
+/** Index of the footprint-minimizing interval in a sweep. */
+std::size_t
+optimalReplacementIndex(const std::vector<ReplacementPoint> &sweep);
+
+} // namespace act::core
+
+#endif // ACT_CORE_REPLACEMENT_H

@@ -1,0 +1,100 @@
+#include "core/scheduling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace act::core {
+
+namespace {
+
+constexpr std::size_t kHours = data::DiurnalProfile::kHours;
+
+void
+checkLoad(const DailyLoad &load)
+{
+    if (util::asWatts(load.baseline) < 0.0)
+        util::fatal("baseline power must be non-negative");
+    if (util::asKilowattHours(load.deferrable_energy) < 0.0)
+        util::fatal("deferrable energy must be non-negative");
+    const util::Energy daily_capacity =
+        load.deferrable_capacity * util::hours(24.0);
+    if (load.deferrable_energy > daily_capacity) {
+        util::fatal("deferrable energy (",
+                    util::asKilowattHours(load.deferrable_energy),
+                    " kWh) exceeds the daily deferrable capacity (",
+                    util::asKilowattHours(daily_capacity), " kWh)");
+    }
+}
+
+util::Mass
+baselineFootprint(const DailyLoad &load,
+                  const data::DiurnalProfile &profile)
+{
+    util::Mass total{};
+    const util::Energy hourly = load.baseline * util::hours(1.0);
+    for (std::size_t h = 0; h < kHours; ++h)
+        total += profile.at(h) * hourly;
+    return total;
+}
+
+ScheduleResult
+finalize(const DailyLoad &load, const data::DiurnalProfile &profile,
+         ScheduleResult result)
+{
+    result.baseline_footprint = baselineFootprint(load, profile);
+    result.deferrable_footprint = util::Mass{};
+    for (std::size_t h = 0; h < kHours; ++h)
+        result.deferrable_footprint += profile.at(h) * result.placement[h];
+    return result;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleUniform(const DailyLoad &load,
+                const data::DiurnalProfile &profile)
+{
+    checkLoad(load);
+    ScheduleResult result;
+    const util::Energy per_hour =
+        load.deferrable_energy / static_cast<double>(kHours);
+    result.placement.fill(per_hour);
+    return finalize(load, profile, result);
+}
+
+ScheduleResult
+scheduleCarbonAware(const DailyLoad &load,
+                    const data::DiurnalProfile &profile)
+{
+    checkLoad(load);
+    ScheduleResult result;
+    const util::Energy hour_capacity =
+        load.deferrable_capacity * util::hours(1.0);
+
+    util::Energy remaining = load.deferrable_energy;
+    for (std::size_t hour : profile.hoursByIntensity()) {
+        if (util::asKilowattHours(remaining) <= 0.0)
+            break;
+        const util::Energy placed =
+            std::min(remaining, hour_capacity);
+        result.placement[hour] = placed;
+        remaining -= placed;
+    }
+    return finalize(load, profile, result);
+}
+
+double
+carbonAwareSaving(const DailyLoad &load,
+                  const data::DiurnalProfile &profile)
+{
+    const util::Mass uniform =
+        scheduleUniform(load, profile).deferrable_footprint;
+    const util::Mass aware =
+        scheduleCarbonAware(load, profile).deferrable_footprint;
+    if (util::asGrams(aware) <= 0.0)
+        return 1.0;
+    return util::asGrams(uniform) / util::asGrams(aware);
+}
+
+} // namespace act::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Carbon-aware load scheduling over diurnal carbon-intensity profiles
+ * (an operational-side extension of Eq. 2, following the
+ * carbon-aware-computing direction the paper cites [66]).
+ *
+ * A daily workload consists of an inflexible baseline draw plus a
+ * deferrable batch component that can run in any hours. Scheduling
+ * the batch into the greenest hours lowers OPCF without any hardware
+ * change -- and shifts the embodied/operational balance that the
+ * Section 6 provisioning decisions depend on.
+ */
+
+#ifndef ACT_CORE_SCHEDULING_H
+#define ACT_CORE_SCHEDULING_H
+
+#include <array>
+
+#include "data/ci_profile.h"
+#include "util/units.h"
+
+namespace act::core {
+
+/** A daily load description. */
+struct DailyLoad
+{
+    /** Power drawn in every hour regardless of scheduling. */
+    util::Power baseline{};
+    /** Total deferrable energy that must run sometime each day. */
+    util::Energy deferrable_energy{};
+    /** Peak additional power the platform can dedicate to deferrable
+     *  work in one hour (bounds how much can compress into the
+     *  greenest hours). */
+    util::Power deferrable_capacity{};
+};
+
+/** Result of evaluating one schedule. */
+struct ScheduleResult
+{
+    /** Deferrable energy placed in each hour. */
+    std::array<util::Energy, data::DiurnalProfile::kHours> placement{};
+    util::Mass baseline_footprint{};
+    util::Mass deferrable_footprint{};
+
+    util::Mass total() const
+    {
+        return baseline_footprint + deferrable_footprint;
+    }
+};
+
+/**
+ * Spread the deferrable energy uniformly across all hours (the naive,
+ * carbon-oblivious schedule). Fatal if the daily energy exceeds what
+ * the capacity allows.
+ */
+ScheduleResult scheduleUniform(const DailyLoad &load,
+                               const data::DiurnalProfile &profile);
+
+/**
+ * Greedily place deferrable energy into the greenest hours first,
+ * saturating each hour's capacity before moving to the next.
+ */
+ScheduleResult scheduleCarbonAware(const DailyLoad &load,
+                                   const data::DiurnalProfile &profile);
+
+/** OPCF saving factor of carbon-aware over uniform scheduling. */
+double carbonAwareSaving(const DailyLoad &load,
+                         const data::DiurnalProfile &profile);
+
+} // namespace act::core
+
+#endif // ACT_CORE_SCHEDULING_H

@@ -1,0 +1,56 @@
+#include "core/yield.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace act::core {
+
+std::string_view
+yieldModelName(YieldModel model)
+{
+    switch (model) {
+      case YieldModel::Poisson:
+        return "Poisson";
+      case YieldModel::Murphy:
+        return "Murphy";
+      case YieldModel::NegativeBinomial:
+        return "negative binomial";
+    }
+    util::panic("unknown YieldModel enumerator");
+}
+
+double
+dieYield(util::Area die_area, const DefectParams &defects)
+{
+    const double area_cm2 = util::asSquareCentimeters(die_area);
+    if (area_cm2 <= 0.0)
+        util::fatal("die area must be positive");
+    if (defects.defect_density_per_cm2 <= 0.0)
+        util::fatal("defect density must be positive");
+
+    const double lambda = area_cm2 * defects.defect_density_per_cm2;
+    switch (defects.model) {
+      case YieldModel::Poisson:
+        return std::exp(-lambda);
+      case YieldModel::Murphy: {
+        const double term = (1.0 - std::exp(-lambda)) / lambda;
+        return term * term;
+      }
+      case YieldModel::NegativeBinomial: {
+        if (defects.clustering_alpha <= 0.0)
+            util::fatal("clustering alpha must be positive");
+        return std::pow(1.0 + lambda / defects.clustering_alpha,
+                        -defects.clustering_alpha);
+      }
+    }
+    util::panic("unknown YieldModel enumerator");
+}
+
+util::Area
+effectiveAreaPerGoodDie(util::Area die_area, const DefectParams &defects)
+{
+    return die_area / dieYield(die_area, defects);
+}
+
+} // namespace act::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Diurnal carbon-intensity profiles. Appendix A.1 notes that "while
+ * these are average values, carbon intensity can fluctuate over time";
+ * this module models that fluctuation with 24-hour profiles shaped by
+ * the renewable mix (solar peaks mid-day, wind is flatter), enabling
+ * the carbon-aware scheduling extension in core/scheduling.h.
+ */
+
+#ifndef ACT_DATA_CI_PROFILE_H
+#define ACT_DATA_CI_PROFILE_H
+
+#include <array>
+#include <cstddef>
+
+#include "data/carbon_intensity_db.h"
+#include "util/units.h"
+
+namespace act::data {
+
+/** Hourly carbon intensity over one day. */
+class DiurnalProfile
+{
+  public:
+    static constexpr std::size_t kHours = 24;
+
+    /** A flat profile at a region's average intensity. */
+    static DiurnalProfile flat(util::CarbonIntensity average);
+
+    /**
+     * A grid whose renewable share is solar: intensity dips towards
+     * the solar window (10:00-16:00) and rises at night. The daily
+     * *average* equals blend(base, solar_share), so comparisons
+     * against the static model are apples-to-apples.
+     *
+     * @param base fossil-grid intensity.
+     * @param solar_share daily-average solar fraction in [0, 0.4]
+     *        (a day-only source cannot exceed ~0.44 without storage).
+     */
+    static DiurnalProfile solarGrid(util::CarbonIntensity base,
+                                    double solar_share);
+
+    /**
+     * A wind-heavy grid: milder, night-leaning dips (wind often peaks
+     * overnight); daily average equals blend(base, wind_share).
+     */
+    static DiurnalProfile windGrid(util::CarbonIntensity base,
+                                   double wind_share);
+
+    /** Intensity during hour [h, h+1); h taken modulo 24. */
+    util::CarbonIntensity at(std::size_t hour) const;
+
+    /** Daily average intensity. */
+    util::CarbonIntensity dailyAverage() const;
+
+    /** Hour indices sorted from greenest to dirtiest. */
+    std::array<std::size_t, kHours> hoursByIntensity() const;
+
+  private:
+    std::array<double, kHours> grams_per_kwh_{};
+};
+
+} // namespace act::data
+
+#endif // ACT_DATA_CI_PROFILE_H

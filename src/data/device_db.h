@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Device bill-of-materials and published-LCA reference data for the
+ * platforms the paper analyzes: iPhone 3GS and iPhone 11 (Fig. 1),
+ * iPhone 11 and iPad (Fig. 4), Fairphone 3 (Table 12, Fig. 16), and
+ * Dell R740 (Table 12, Fig. 17).
+ *
+ * IC lists follow public teardowns (iFixit/TechInsights-style): the
+ * main SoC plus the modem, RF, power-management, camera, display, and
+ * miscellaneous logic that Fig. 4 groups as "Camera ICs" and
+ * "Other ICs". Published LCA figures (Apple PERs, Fairphone 3 LCA,
+ * Dell R740 LCA) are encoded as top-line reference data for the
+ * ACT-vs-LCA comparisons.
+ */
+
+#ifndef ACT_DATA_DEVICE_DB_H
+#define ACT_DATA_DEVICE_DB_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace act::data {
+
+/** What an IC is, for embodied-model dispatch (Eq. 3 components). */
+enum class IcKind
+{
+    Logic,  ///< processors, SoCs, analog/RF/PMIC logic dies
+    Dram,
+    Nand,
+    Hdd,
+};
+
+/** Fig. 4 grouping for the per-IC breakdown. */
+enum class IcCategory
+{
+    MainSoc,
+    CameraIc,
+    Dram,
+    Flash,
+    Hdd,
+    OtherIc,
+};
+
+/** One IC on a platform. */
+struct IcComponent
+{
+    std::string name;
+    IcKind kind = IcKind::Logic;
+    IcCategory category = IcCategory::OtherIc;
+
+    /** Logic ICs: total die area and process node. */
+    util::Area area{};
+    double node_nm = 0.0;
+    /** Logic ICs: named fab-node override (e.g. "7nm-EUV"); empty means
+     *  interpolate from node_nm. */
+    std::string fab_node_name;
+
+    /** Memory/storage ICs: capacity and memory-database technology. */
+    util::Capacity capacity{};
+    std::string technology;
+
+    /** Number of discrete packages (feeds the Nr x Kr packaging term). */
+    int package_count = 1;
+};
+
+/** Published product-LCA top-line data. */
+struct LcaProfile
+{
+    /** Whole-product life-cycle footprint. */
+    util::Mass total{};
+    double production_share = 0.0;
+    double use_share = 0.0;
+    double transport_share = 0.0;
+    double eol_share = 0.0;
+    /** Share of the production footprint attributable to ICs (the
+     *  paper applies Apple's 44% fleet average, adjusted per device). */
+    double ic_share_of_production = 0.44;
+
+    /** Top-down IC footprint estimate (Fig. 4 "LCA-based top-down"). */
+    util::Mass icEstimate() const;
+    util::Mass productionFootprint() const;
+    util::Mass useFootprint() const;
+};
+
+/** A labeled share of a published LCA breakdown (Figs. 16/17). */
+struct BreakdownEntry
+{
+    std::string label;
+    double share = 0.0;
+};
+
+/** One platform. */
+struct DeviceRecord
+{
+    std::string name;
+    int release_year = 0;
+    std::vector<IcComponent> ics;
+    LcaProfile lca;
+    /** Published top-level component breakdown (empty if not used). */
+    std::vector<BreakdownEntry> lca_breakdown;
+};
+
+/** The device database singleton. */
+class DeviceDatabase
+{
+  public:
+    static const DeviceDatabase &instance();
+
+    std::span<const DeviceRecord> records() const;
+    std::optional<DeviceRecord> findByName(std::string_view name) const;
+    DeviceRecord byNameOrDie(std::string_view name) const;
+
+  private:
+    DeviceDatabase();
+    std::vector<DeviceRecord> records_;
+};
+
+std::string_view icCategoryName(IcCategory category);
+
+} // namespace act::data
+
+#endif // ACT_DATA_DEVICE_DB_H

@@ -1,0 +1,101 @@
+#include "dse/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace act::dse {
+
+namespace {
+
+double
+sampleParameter(const UncertainParameter &parameter,
+                util::Xorshift64Star &rng)
+{
+    switch (parameter.distribution) {
+      case Distribution::Uniform:
+        return rng.nextUniform(parameter.low, parameter.high);
+      case Distribution::Triangular: {
+        // Inverse-CDF sampling for a triangular distribution with
+        // mode c in [a, b].
+        const double a = parameter.low;
+        const double b = parameter.high;
+        const double c = parameter.baseline;
+        const double u = rng.nextUnit();
+        const double pivot = (c - a) / (b - a);
+        if (u < pivot)
+            return a + std::sqrt(u * (b - a) * (c - a));
+        return b - std::sqrt((1.0 - u) * (b - a) * (b - c));
+      }
+    }
+    util::panic("unknown Distribution enumerator");
+}
+
+} // namespace
+
+MonteCarloResult
+monteCarlo(const std::vector<UncertainParameter> &parameters,
+           const std::function<double(const std::vector<double> &)>
+               &model,
+           std::size_t samples, std::uint64_t seed)
+{
+    if (parameters.empty())
+        util::fatal("monteCarlo() needs at least one parameter");
+    if (samples < 100)
+        util::fatal("monteCarlo() needs at least 100 samples");
+    for (const auto &parameter : parameters) {
+        if (!(parameter.low <= parameter.baseline &&
+              parameter.baseline <= parameter.high)) {
+            util::fatal("parameter '", parameter.name,
+                        "' needs low <= baseline <= high");
+        }
+        if (parameter.low >= parameter.high)
+            util::fatal("parameter '", parameter.name,
+                        "' has an empty range");
+    }
+
+    util::Xorshift64Star rng(seed);
+    std::vector<double> values(parameters.size());
+    std::vector<double> outputs;
+    outputs.reserve(samples);
+
+    double sum = 0.0;
+    double sum_squares = 0.0;
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t i = 0; i < parameters.size(); ++i)
+            values[i] = sampleParameter(parameters[i], rng);
+        const double output = model(values);
+        outputs.push_back(output);
+        sum += output;
+        sum_squares += output * output;
+    }
+
+    std::sort(outputs.begin(), outputs.end());
+    const auto percentile = [&outputs](double p) {
+        const double index =
+            p * static_cast<double>(outputs.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(index);
+        const std::size_t hi =
+            std::min(lo + 1, outputs.size() - 1);
+        const double t = index - static_cast<double>(lo);
+        return outputs[lo] * (1.0 - t) + outputs[hi] * t;
+    };
+
+    MonteCarloResult result;
+    result.samples = samples;
+    result.mean = sum / static_cast<double>(samples);
+    const double variance =
+        sum_squares / static_cast<double>(samples) -
+        result.mean * result.mean;
+    result.stddev = std::sqrt(std::max(0.0, variance));
+    result.p5 = percentile(0.05);
+    result.p50 = percentile(0.50);
+    result.p95 = percentile(0.95);
+    result.min = outputs.front();
+    result.max = outputs.back();
+    return result;
+}
+
+} // namespace act::dse

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Monte Carlo uncertainty propagation, complementing the tornado
+ * analysis in sensitivity.h: sample the model inputs jointly from
+ * per-parameter distributions and summarize the output distribution
+ * (mean, standard deviation, percentiles).
+ */
+
+#ifndef ACT_DSE_MONTECARLO_H
+#define ACT_DSE_MONTECARLO_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace act::dse {
+
+/** Supported input distributions. */
+enum class Distribution
+{
+    /** Uniform over [low, high]. */
+    Uniform,
+    /** Triangular over [low, high] with the mode at baseline. */
+    Triangular,
+};
+
+/** One uncertain model input. */
+struct UncertainParameter
+{
+    std::string name;
+    Distribution distribution = Distribution::Uniform;
+    double baseline = 0.0;
+    double low = 0.0;
+    double high = 0.0;
+};
+
+/** Output distribution summary. */
+struct MonteCarloResult
+{
+    std::size_t samples = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double p5 = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * Run @p samples joint evaluations of @p model, sampling each input
+ * from its distribution. Deterministic for a fixed seed. Fatal on an
+ * empty parameter list, fewer than 100 samples, or inverted ranges.
+ */
+MonteCarloResult
+monteCarlo(const std::vector<UncertainParameter> &parameters,
+           const std::function<double(const std::vector<double> &)>
+               &model,
+           std::size_t samples = 10'000, std::uint64_t seed = 42);
+
+} // namespace act::dse
+
+#endif // ACT_DSE_MONTECARLO_H

@@ -1,0 +1,45 @@
+#include "dse/scoreboard.h"
+
+#include "util/logging.h"
+
+namespace act::dse {
+
+Scoreboard::Scoreboard(std::vector<core::DesignPoint> designs,
+                       std::size_t baseline_index)
+    : designs_(std::move(designs))
+{
+    if (designs_.empty())
+        util::fatal("Scoreboard over an empty design space");
+    if (baseline_index >= designs_.size())
+        util::fatal("Scoreboard baseline index out of range");
+
+    for (core::Metric metric : core::allMetrics()) {
+        MetricColumn column;
+        column.metric = metric;
+        column.values.reserve(designs_.size());
+        for (const auto &design : designs_)
+            column.values.push_back(core::evaluateMetric(metric, design));
+        column.normalized =
+            core::normalizedMetric(metric, designs_, baseline_index);
+        column.best_index = core::bestDesign(metric, designs_);
+        columns_.push_back(std::move(column));
+    }
+}
+
+const MetricColumn &
+Scoreboard::column(core::Metric metric) const
+{
+    for (const auto &column : columns_) {
+        if (column.metric == metric)
+            return column;
+    }
+    util::panic("Scoreboard missing a metric column");
+}
+
+const std::string &
+Scoreboard::winner(core::Metric metric) const
+{
+    return designs_[column(metric).best_index].name;
+}
+
+} // namespace act::dse

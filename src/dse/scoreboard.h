@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A metric scoreboard over a design space: for every Table 2 metric it
+ * records each design's value, the normalized series (Fig. 8(d) style),
+ * and the winning design. Shared by the Fig. 8, Fig. 9, and Fig. 12
+ * harnesses.
+ */
+
+#ifndef ACT_DSE_SCOREBOARD_H
+#define ACT_DSE_SCOREBOARD_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace act::dse {
+
+/** Results for one metric over the whole design space. */
+struct MetricColumn
+{
+    core::Metric metric;
+    /** Raw metric value per design (paper's order of designs). */
+    std::vector<double> values;
+    /** Values normalized to the chosen baseline design. */
+    std::vector<double> normalized;
+    /** Index of the winning (minimum) design. */
+    std::size_t best_index = 0;
+};
+
+/** Scoreboard over a fixed design space. */
+class Scoreboard
+{
+  public:
+    /**
+     * @param designs the design space (copied).
+     * @param baseline_index design each metric column is normalized to.
+     */
+    Scoreboard(std::vector<core::DesignPoint> designs,
+               std::size_t baseline_index = 0);
+
+    std::span<const core::DesignPoint> designs() const
+    { return designs_; }
+
+    /** Column for @p metric (computed at construction). */
+    const MetricColumn &column(core::Metric metric) const;
+
+    /** Name of the design winning @p metric. */
+    const std::string &winner(core::Metric metric) const;
+
+    /** All columns, in Table 2 metric order. */
+    std::span<const MetricColumn> columns() const { return columns_; }
+
+  private:
+    std::vector<core::DesignPoint> designs_;
+    std::vector<MetricColumn> columns_;
+};
+
+} // namespace act::dse
+
+#endif // ACT_DSE_SCOREBOARD_H

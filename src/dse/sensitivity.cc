@@ -1,0 +1,48 @@
+#include "dse/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace act::dse {
+
+double
+TornadoEntry::swing() const
+{
+    return std::fabs(output_high - output_low);
+}
+
+std::vector<TornadoEntry>
+tornado(const std::vector<ParameterRange> &parameters,
+        const std::function<double(const std::vector<double> &)> &model)
+{
+    if (parameters.empty())
+        util::fatal("tornado() needs at least one parameter");
+
+    std::vector<double> baseline;
+    baseline.reserve(parameters.size());
+    for (const auto &parameter : parameters)
+        baseline.push_back(parameter.baseline);
+
+    std::vector<TornadoEntry> entries;
+    entries.reserve(parameters.size());
+    for (std::size_t i = 0; i < parameters.size(); ++i) {
+        std::vector<double> values = baseline;
+        TornadoEntry entry;
+        entry.name = parameters[i].name;
+        values[i] = parameters[i].low;
+        entry.output_low = model(values);
+        values[i] = parameters[i].high;
+        entry.output_high = model(values);
+        entries.push_back(std::move(entry));
+    }
+
+    std::sort(entries.begin(), entries.end(),
+              [](const TornadoEntry &a, const TornadoEntry &b) {
+                  return a.swing() > b.swing();
+              });
+    return entries;
+}
+
+} // namespace act::dse

@@ -1,0 +1,142 @@
+#include "mobile/dvfs.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace act::mobile {
+
+namespace {
+
+void
+checkFrequency(double f)
+{
+    if (!(f > 0.0 && f <= 1.0))
+        util::fatal("relative frequency must be in (0, 1], got ", f);
+}
+
+void
+checkParams(const DvfsParams &params)
+{
+    if (!(params.v_min_fraction > 0.0 && params.v_min_fraction <= 1.0))
+        util::fatal("v_min fraction must be in (0, 1]");
+    if (!(params.leakage_fraction >= 0.0 &&
+          params.leakage_fraction < 1.0)) {
+        util::fatal("leakage fraction must be in [0, 1)");
+    }
+}
+
+} // namespace
+
+double
+dvfsVoltage(const DvfsParams &params, double f)
+{
+    checkFrequency(f);
+    checkParams(params);
+    return params.v_min_fraction + (1.0 - params.v_min_fraction) * f;
+}
+
+util::Energy
+taskEnergy(const DvfsParams &params, double f,
+           util::Duration nominal_latency)
+{
+    const double v = dvfsVoltage(params, f);
+    const double dynamic_term =
+        (1.0 - params.leakage_fraction) * v * v;
+    const double leakage_term = params.leakage_fraction * v / f;
+    return params.nominal_power * nominal_latency *
+           (dynamic_term + leakage_term);
+}
+
+DvfsPoint
+evaluateFrequency(const DvfsParams &params, double f,
+                  util::Duration nominal_latency,
+                  const core::OperationalParams &use)
+{
+    DvfsPoint point;
+    point.frequency = f;
+    point.latency = nominal_latency / f;
+    point.energy = taskEnergy(params, f, nominal_latency);
+    point.footprint = core::combineFootprint(
+        core::operationalFootprint(point.energy, use),
+        params.device_embodied, point.latency,
+        params.device_lifetime);
+    return point;
+}
+
+std::vector<DvfsPoint>
+dvfsSweep(const DvfsParams &params, util::Duration nominal_latency,
+          const core::OperationalParams &use, double f_min,
+          std::size_t steps)
+{
+    checkFrequency(f_min);
+    if (steps < 2)
+        util::fatal("DVFS sweep needs at least 2 steps");
+    std::vector<DvfsPoint> sweep;
+    sweep.reserve(steps);
+    const double delta =
+        (1.0 - f_min) / static_cast<double>(steps - 1);
+    for (std::size_t i = 0; i < steps; ++i) {
+        sweep.push_back(evaluateFrequency(
+            params, f_min + delta * static_cast<double>(i),
+            nominal_latency, use));
+    }
+    return sweep;
+}
+
+namespace {
+
+/** Golden-section search over f in [lo, 1] for a unimodal objective. */
+template <typename ObjectiveT>
+double
+minimizeFrequency(double lo, ObjectiveT objective)
+{
+    constexpr double kInvPhi = 0.6180339887498949;
+    double a = lo;
+    double b = 1.0;
+    double x1 = b - kInvPhi * (b - a);
+    double x2 = a + kInvPhi * (b - a);
+    double f1 = objective(x1);
+    double f2 = objective(x2);
+    for (int i = 0; i < 100; ++i) {
+        if (f1 < f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - kInvPhi * (b - a);
+            f1 = objective(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kInvPhi * (b - a);
+            f2 = objective(x2);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+} // namespace
+
+double
+energyOptimalFrequency(const DvfsParams &params,
+                       util::Duration nominal_latency)
+{
+    return minimizeFrequency(0.05, [&](double f) {
+        return util::asJoules(taskEnergy(params, f, nominal_latency));
+    });
+}
+
+double
+carbonOptimalFrequency(const DvfsParams &params,
+                       util::Duration nominal_latency,
+                       const core::OperationalParams &use)
+{
+    return minimizeFrequency(0.05, [&](double f) {
+        return util::asGrams(
+            evaluateFrequency(params, f, nominal_latency, use)
+                .footprint.total());
+    });
+}
+
+} // namespace act::mobile

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * DVFS under carbon metrics -- the "DVFS" item the paper lists under
+ * the Reduce tenet (Fig. 1).
+ *
+ * A task of fixed work runs at a relative frequency f in (0, 1], with
+ * voltage scaling V(f) = v_min + (1 - v_min) * f. Dynamic power scales
+ * with V^2 f and leakage with V, so task energy
+ *
+ *   E(f) = P_nom * t_nom * [ (1 - L) * V(f)^2 + L * V(f) / f ]
+ *
+ * is U-shaped in f: racing burns voltage overhead, crawling burns
+ * leakage. Under Eq. 1 the *carbon*-optimal point also charges the
+ * device's embodied footprint for the occupancy time t_nom / f, so it
+ * sits at or above the energy-optimal frequency -- and moves towards
+ * race-to-idle as the grid gets greener or the silicon dirtier.
+ */
+
+#ifndef ACT_MOBILE_DVFS_H
+#define ACT_MOBILE_DVFS_H
+
+#include <vector>
+
+#include "core/footprint.h"
+#include "core/operational.h"
+#include "util/units.h"
+
+namespace act::mobile {
+
+/** Platform DVFS characteristics. */
+struct DvfsParams
+{
+    /** Power at the nominal operating point (f = 1). */
+    util::Power nominal_power = util::watts(5.0);
+    /** Voltage floor as a fraction of nominal voltage. */
+    double v_min_fraction = 0.6;
+    /** Leakage share of nominal power. */
+    double leakage_fraction = 0.3;
+    /** Embodied footprint of the device executing the task. */
+    util::Mass device_embodied = util::kilograms(1.5);
+    util::Duration device_lifetime = util::years(3.0);
+};
+
+/** One frequency point of a DVFS sweep. */
+struct DvfsPoint
+{
+    /** Relative frequency in (0, 1]. */
+    double frequency = 1.0;
+    util::Duration latency{};
+    util::Energy energy{};
+    core::CarbonFootprint footprint{};
+};
+
+/** Relative supply voltage at relative frequency @p f. */
+double dvfsVoltage(const DvfsParams &params, double f);
+
+/** Task energy at relative frequency @p f for a task that takes
+ *  @p nominal_latency at f = 1. Fatal outside (0, 1]. */
+util::Energy taskEnergy(const DvfsParams &params, double f,
+                        util::Duration nominal_latency);
+
+/** Evaluate one frequency under Eq. 1 (embodied charged for the
+ *  occupancy time). */
+DvfsPoint evaluateFrequency(const DvfsParams &params, double f,
+                            util::Duration nominal_latency,
+                            const core::OperationalParams &use);
+
+/** Sweep frequencies over [f_min, 1]. */
+std::vector<DvfsPoint> dvfsSweep(const DvfsParams &params,
+                                 util::Duration nominal_latency,
+                                 const core::OperationalParams &use,
+                                 double f_min = 0.2,
+                                 std::size_t steps = 33);
+
+/** Frequency minimizing task energy alone. */
+double energyOptimalFrequency(const DvfsParams &params,
+                              util::Duration nominal_latency);
+
+/** Frequency minimizing the Eq. 1 carbon footprint. */
+double carbonOptimalFrequency(const DvfsParams &params,
+                              util::Duration nominal_latency,
+                              const core::OperationalParams &use);
+
+} // namespace act::mobile
+
+#endif // ACT_MOBILE_DVFS_H

@@ -1,0 +1,100 @@
+#include "mobile/fleet.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/replacement.h"
+#include "data/soc_db.h"
+#include "mobile/platform.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace act::mobile {
+
+double
+familyEfficiencyGrowth(data::SocFamily family)
+{
+    const auto chipsets =
+        data::SocDatabase::instance().familyByYear(family);
+    if (chipsets.size() < 2)
+        util::fatal("family has fewer than two chipsets");
+    const auto &first = chipsets.front();
+    const auto &last = chipsets.back();
+    const double periods =
+        static_cast<double>(last.release_year - first.release_year);
+    if (periods <= 0.0)
+        util::fatal("family spans zero years");
+    return std::pow(last.efficiencyScorePerWatt() /
+                        first.efficiencyScorePerWatt(),
+                    1.0 / periods);
+}
+
+double
+annualEfficiencyImprovement()
+{
+    std::vector<double> growths;
+    for (data::SocFamily family :
+         {data::SocFamily::Exynos, data::SocFamily::Snapdragon,
+          data::SocFamily::Kirin}) {
+        growths.push_back(familyEfficiencyGrowth(family));
+    }
+    return util::geomean(growths);
+}
+
+FleetParams
+defaultFleetParams(const core::FabParams &fab)
+{
+    FleetParams params;
+    util::Mass total{};
+    const auto records = data::SocDatabase::instance().records();
+    for (const auto &soc : records)
+        total += platformEmbodied(soc, fab).total();
+    params.embodied_per_device =
+        total / static_cast<double>(records.size());
+    params.annual_efficiency_improvement = annualEfficiencyImprovement();
+    return params;
+}
+
+LifetimePoint
+evaluateLifetime(const FleetParams &params, double lifetime_years)
+{
+    core::ReplacementParams generic;
+    generic.embodied_per_unit = params.embodied_per_device;
+    generic.first_year_energy = params.annual_use_energy;
+    generic.use = params.use;
+    generic.annual_efficiency_improvement =
+        params.annual_efficiency_improvement;
+    generic.horizon = params.horizon;
+
+    const core::ReplacementPoint evaluated =
+        core::evaluateReplacement(generic, lifetime_years);
+    LifetimePoint point;
+    point.lifetime_years = evaluated.lifetime_years;
+    point.embodied = evaluated.embodied;
+    point.operational = evaluated.operational;
+    return point;
+}
+
+std::vector<LifetimePoint>
+lifetimeSweep(const FleetParams &params)
+{
+    std::vector<LifetimePoint> sweep;
+    for (int lifetime = 1; lifetime <= 10; ++lifetime)
+        sweep.push_back(evaluateLifetime(params, lifetime));
+    return sweep;
+}
+
+std::size_t
+optimalLifetimeIndex(const std::vector<LifetimePoint> &sweep)
+{
+    if (sweep.empty())
+        util::fatal("optimalLifetimeIndex() on an empty sweep");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].total() < sweep[best].total())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace act::mobile

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Section 8 lifetime-extension study (Fig. 14): how long should a
+ * mobile device live before replacement?
+ *
+ * Over a fixed horizon H with replacement every L years, a fleet incurs
+ *   embodied(L)    = (H / L) * E_device
+ *   operational(L) = (H / L) * CI_use * E_annual * sum_{a=0}^{L-1} g^a
+ * where g is the annual energy-efficiency improvement of new hardware
+ * (devices keep their purchase-year efficiency while workloads track
+ * the frontier, so relative energy grows g^age). Longer lifetimes
+ * amortize embodied carbon but sacrifice the annual efficiency gains.
+ */
+
+#ifndef ACT_MOBILE_FLEET_H
+#define ACT_MOBILE_FLEET_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fab_params.h"
+#include "core/operational.h"
+#include "data/soc_db.h"
+#include "util/units.h"
+
+namespace act::mobile {
+
+/** Parameters of the lifetime-extension model. */
+struct FleetParams
+{
+    /** Embodied footprint of one device (SoC + DRAM + packaging). */
+    util::Mass embodied_per_device{};
+    /** Device energy drawn from the grid per year of use. */
+    util::Energy annual_use_energy = util::kilowattHours(1.65);
+    core::OperationalParams use{};
+    /** Annual energy-efficiency improvement factor (Fig. 14 left). */
+    double annual_efficiency_improvement = 1.21;
+    /** Evaluation horizon (the paper uses 10 years). */
+    util::Duration horizon = util::years(10.0);
+};
+
+/**
+ * Fig. 14 (left): the fleet-wide annual efficiency improvement,
+ * computed as the geometric mean over SoC families of each family's
+ * compound annual growth in score-per-watt.
+ */
+double annualEfficiencyImprovement();
+
+/** Per-family compound annual efficiency growth. */
+double familyEfficiencyGrowth(data::SocFamily family);
+
+/**
+ * Default parameters: device embodied footprint averaged over the SoC
+ * database under the given fab conditions, efficiency growth measured
+ * from the database, and the paper's use-phase defaults.
+ */
+FleetParams defaultFleetParams(const core::FabParams &fab);
+
+/** One point of the Fig. 14 (right) sweep. */
+struct LifetimePoint
+{
+    double lifetime_years = 0.0;
+    util::Mass embodied{};
+    util::Mass operational{};
+
+    util::Mass total() const { return embodied + operational; }
+};
+
+/** Sweep integer lifetimes 1..10 years (Fig. 14 right). */
+std::vector<LifetimePoint> lifetimeSweep(const FleetParams &params);
+
+/** Evaluate a single (possibly fractional) lifetime. */
+LifetimePoint evaluateLifetime(const FleetParams &params,
+                               double lifetime_years);
+
+/** Index of the footprint-minimizing lifetime in a sweep. */
+std::size_t optimalLifetimeIndex(const std::vector<LifetimePoint> &sweep);
+
+} // namespace act::mobile
+
+#endif // ACT_MOBILE_FLEET_H

@@ -1,0 +1,150 @@
+#include "mobile/provisioning.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace act::mobile {
+
+using util::asGrams;
+using util::Duration;
+using util::milliseconds;
+using util::squareMillimeters;
+using util::watts;
+
+namespace {
+
+/**
+ * Block areas are calibrated so the default-parameter embodied
+ * footprints reproduce Table 4 (CPU 253 g CO2, DSP +189 g, GPU +205 g;
+ * DSP/GPU rows label-corrected per the prose). At the default CPA for
+ * 10 nm (~1548.6 g/cm2) these correspond to a ~16.3 mm2 CPU cluster,
+ * ~12.2 mm2 DSP, and ~13.2 mm2 GPU -- consistent with Snapdragon
+ * 845-class floorplans.
+ */
+const std::array<ComputeBlock, 3> kSnapdragon845Blocks = {{
+    {"CPU", squareMillimeters(16.337), 10.0, milliseconds(6.0),
+     watts(6.6), false},
+    {"GPU", squareMillimeters(13.237), 10.0, milliseconds(12.1),
+     watts(2.9), true},
+    {"DSP", squareMillimeters(12.204), 10.0, milliseconds(9.2),
+     watts(2.0), true},
+}};
+
+} // namespace
+
+std::span<const ComputeBlock>
+snapdragon845Blocks()
+{
+    return kSnapdragon845Blocks;
+}
+
+ProvisioningResult
+evaluateBlock(const ComputeBlock &block, const ComputeBlock &host_cpu,
+              const core::FabParams &fab,
+              const core::OperationalParams &use)
+{
+    ProvisioningResult result;
+    result.name = block.name;
+    result.latency = block.latency;
+    result.power = block.power;
+    result.energy = block.power * block.latency;
+    result.opcf_per_inference =
+        core::operationalFootprint(result.energy, use);
+    result.ecf_block = core::logicEmbodied(block.area, block.node_nm, fab);
+    result.ecf_total = result.ecf_block;
+    result.area_total = block.area;
+    if (block.is_coprocessor) {
+        result.ecf_total +=
+            core::logicEmbodied(host_cpu.area, host_cpu.node_nm, fab);
+        result.area_total += host_cpu.area;
+    }
+    return result;
+}
+
+std::vector<ProvisioningResult>
+provisioningTable(const core::FabParams &fab,
+                  const core::OperationalParams &use)
+{
+    const auto blocks = snapdragon845Blocks();
+    std::vector<ProvisioningResult> results;
+    results.reserve(blocks.size());
+    for (const auto &block : blocks)
+        results.push_back(evaluateBlock(block, blocks[0], fab, use));
+    return results;
+}
+
+std::vector<core::DesignPoint>
+provisioningDesignSpace(const core::FabParams &fab,
+                        const core::OperationalParams &use)
+{
+    std::vector<core::DesignPoint> points;
+    for (const auto &result : provisioningTable(fab, use)) {
+        core::DesignPoint point;
+        point.name = result.name;
+        point.embodied = result.ecf_total;
+        point.energy = result.energy;
+        point.delay = result.latency;
+        point.area = result.area_total;
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+std::optional<double>
+breakEvenUtilization(const ComputeBlock &accelerator,
+                     const ComputeBlock &cpu, const core::FabParams &fab,
+                     const core::OperationalParams &use,
+                     util::Duration lifetime)
+{
+    if (!accelerator.is_coprocessor)
+        util::fatal("breakEvenUtilization() expects a co-processor");
+
+    const util::Energy cpu_energy = cpu.power * cpu.latency;
+    const util::Energy accel_energy =
+        accelerator.power * accelerator.latency;
+    if (accel_energy >= cpu_energy)
+        return std::nullopt;  // no operational saving, never breaks even
+
+    const util::Mass saving_per_inference = core::operationalFootprint(
+        cpu_energy - accel_energy, use);
+    const util::Mass extra_embodied =
+        core::logicEmbodied(accelerator.area, accelerator.node_nm, fab);
+
+    // n(u) = u * LT / latency inferences repay the extra embodied
+    // carbon when n(u) * saving == extra_embodied.
+    const double utilization =
+        asGrams(extra_embodied) *
+        util::asSeconds(accelerator.latency) /
+        (util::asSeconds(lifetime) * asGrams(saving_per_inference));
+    return utilization;
+}
+
+core::CarbonFootprint
+perInferenceFootprint(const ProvisioningResult &result,
+                      double lifetime_inferences,
+                      const core::OperationalParams &use)
+{
+    if (lifetime_inferences <= 0.0) {
+        util::fatal("lifetime inference count must be positive, got ",
+                    lifetime_inferences);
+    }
+    core::CarbonFootprint footprint;
+    footprint.operational =
+        core::operationalFootprint(result.energy, use);
+    footprint.embodied_allocated =
+        result.ecf_total / lifetime_inferences;
+    return footprint;
+}
+
+double
+inferencesAtUtilization(const ProvisioningResult &result,
+                        double utilization, util::Duration lifetime)
+{
+    if (!(utilization > 0.0 && utilization <= 1.0))
+        util::fatal("utilization must be in (0, 1], got ", utilization);
+    return utilization * util::asSeconds(lifetime) /
+           util::asSeconds(result.latency);
+}
+
+} // namespace act::mobile

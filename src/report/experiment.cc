@@ -1,0 +1,64 @@
+#include "report/experiment.h"
+
+#include <cstring>
+#include <iostream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace act::report {
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            options.csv = true;
+        } else if (std::strcmp(argv[i], "--ablation") == 0) {
+            options.ablation = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::cout << "usage: " << argv[0] << " [--csv] [--ablation]\n";
+            std::exit(0);
+        } else {
+            util::fatal("unknown option '", argv[i],
+                        "' (supported: --csv, --ablation, --help)");
+        }
+    }
+    return options;
+}
+
+Experiment::Experiment(std::string id, std::string title) : id_(std::move(id))
+{
+    std::cout << "=== " << id_ << ": " << title << " ===\n";
+}
+
+void
+Experiment::section(std::string_view name) const
+{
+    std::cout << "\n--- " << name << " ---\n";
+}
+
+void
+Experiment::claim(std::string_view label, std::string_view paper,
+                  std::string_view measured) const
+{
+    std::cout << "[claim] " << label << ": paper=" << paper
+              << " measured=" << measured << '\n';
+}
+
+void
+Experiment::claim(std::string_view label, double paper, double measured,
+                  int significant_digits) const
+{
+    claim(label, util::formatSig(paper, significant_digits),
+          util::formatSig(measured, significant_digits));
+}
+
+void
+Experiment::note(std::string_view text) const
+{
+    std::cout << "[note] " << text << '\n';
+}
+
+} // namespace act::report

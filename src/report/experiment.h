@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared scaffolding for the bench harness: every table/figure binary
+ * announces itself, prints its series through util::Table /
+ * util::renderBarChart, and reports "paper vs measured" claim lines in
+ * a uniform format that EXPERIMENTS.md mirrors.
+ */
+
+#ifndef ACT_REPORT_EXPERIMENT_H
+#define ACT_REPORT_EXPERIMENT_H
+
+#include <string>
+#include <string_view>
+
+namespace act::report {
+
+/** Command-line options shared by all bench binaries. */
+struct Options
+{
+    /** Dump machine-readable CSV after the human-readable output. */
+    bool csv = false;
+    /** Run any ablation variant the binary defines. */
+    bool ablation = false;
+};
+
+/** Parse --csv / --ablation; unknown flags are fatal. */
+Options parseOptions(int argc, char **argv);
+
+/** One experiment's console reporter. */
+class Experiment
+{
+  public:
+    /**
+     * @param id paper artifact id, e.g. "Figure 12".
+     * @param title short description.
+     */
+    Experiment(std::string id, std::string title);
+
+    /** Print a section sub-header. */
+    void section(std::string_view name) const;
+
+    /** Report a paper-claimed value against the measured one. */
+    void claim(std::string_view label, std::string_view paper,
+               std::string_view measured) const;
+    void claim(std::string_view label, double paper, double measured,
+               int significant_digits = 3) const;
+
+    /** Free-form note line. */
+    void note(std::string_view text) const;
+
+  private:
+    std::string id_;
+};
+
+} // namespace act::report
+
+#endif // ACT_REPORT_EXPERIMENT_H

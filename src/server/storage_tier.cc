@@ -1,0 +1,109 @@
+#include "server/storage_tier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace act::server {
+
+StorageTier
+enterpriseHddTier()
+{
+    // Exos-class 16 TB helium drive: ~10 W active / 5.5 W idle,
+    // ~250 MB/s sustained per spindle.
+    StorageTier tier;
+    tier.name = "enterprise HDD (Exosx16-class)";
+    tier.cps = data::storageOrDie("Exosx16").cps;
+    tier.active_power_per_tb = util::watts(10.0 / 16.0);
+    tier.idle_power_per_tb = util::watts(5.5 / 16.0);
+    tier.throughput_mbps_per_tb = 250.0 / 16.0;
+    return tier;
+}
+
+StorageTier
+datacenterSsdTier()
+{
+    // 7.68 TB TLC NVMe: ~15 W active / 5 W idle, ~3 GB/s sustained.
+    StorageTier tier;
+    tier.name = "datacenter SSD (1z TLC)";
+    tier.cps = data::storageOrDie("1z NAND TLC").cps;
+    tier.active_power_per_tb = util::watts(15.0 / 7.68);
+    tier.idle_power_per_tb = util::watts(5.0 / 7.68);
+    tier.throughput_mbps_per_tb = 3000.0 / 7.68;
+    return tier;
+}
+
+util::Capacity
+provisionedCapacity(const StorageTier &tier, const StorageDemand &demand)
+{
+    if (util::asGigabytes(demand.capacity) <= 0.0)
+        util::fatal("storage demand needs a positive capacity");
+    if (demand.throughput_mbps < 0.0)
+        util::fatal("throughput demand must be non-negative");
+    if (tier.throughput_mbps_per_tb <= 0.0)
+        util::fatal("tier '", tier.name,
+                    "' has no throughput density");
+
+    const double for_throughput_tb =
+        demand.throughput_mbps / tier.throughput_mbps_per_tb;
+    return util::gigabytes(
+        std::max(util::asGigabytes(demand.capacity),
+                 for_throughput_tb * 1000.0));
+}
+
+core::CarbonFootprint
+tierFootprint(const StorageTier &tier, const StorageDemand &demand,
+              util::Duration lifetime,
+              const core::OperationalParams &use)
+{
+    if (!(demand.duty >= 0.0 && demand.duty <= 1.0))
+        util::fatal("duty must be in [0, 1], got ", demand.duty);
+
+    const util::Capacity provisioned =
+        provisionedCapacity(tier, demand);
+    const double tb = util::asGigabytes(provisioned) / 1000.0;
+    const util::Power average_power =
+        (tier.active_power_per_tb * demand.duty +
+         tier.idle_power_per_tb * (1.0 - demand.duty)) *
+        tb;
+
+    return core::lifetimeFootprint(
+        core::operationalFootprint(average_power * lifetime, use),
+        tier.cps * provisioned);
+}
+
+std::optional<double>
+throughputCrossover(const StorageTier &incumbent,
+                    const StorageTier &challenger,
+                    const StorageDemand &base_demand,
+                    util::Duration lifetime,
+                    const core::OperationalParams &use, double max_mbps)
+{
+    const auto advantage = [&](double mbps) {
+        StorageDemand demand = base_demand;
+        demand.throughput_mbps = mbps;
+        const double incumbent_total = util::asGrams(
+            tierFootprint(incumbent, demand, lifetime, use).total());
+        const double challenger_total = util::asGrams(
+            tierFootprint(challenger, demand, lifetime, use).total());
+        return challenger_total - incumbent_total;
+    };
+
+    if (advantage(0.0) <= 0.0)
+        return 0.0;  // the challenger already wins at zero throughput
+    if (advantage(max_mbps) > 0.0)
+        return std::nullopt;
+
+    double lo = 0.0;
+    double hi = max_mbps;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (advantage(mid) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+} // namespace act::server

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Storage-tier carbon comparison. Fig. 7 shows enterprise HDDs carry
+ * far less embodied carbon per byte than NAND -- but disks serve so
+ * little throughput per terabyte that performance-hungry tiers must
+ * over-provision capacity to reach their IOPS/bandwidth targets,
+ * inflating both embodied and operational carbon. This module
+ * evaluates the end-to-end Eq. 1 trade-off and locates the throughput
+ * demand at which flash overtakes disk.
+ */
+
+#ifndef ACT_SERVER_STORAGE_TIER_H
+#define ACT_SERVER_STORAGE_TIER_H
+
+#include <optional>
+#include <string>
+
+#include "core/footprint.h"
+#include "core/operational.h"
+#include "data/memory_db.h"
+
+namespace act::server {
+
+/** One storage technology tier. */
+struct StorageTier
+{
+    std::string name;
+    /** Embodied carbon per gigabyte (Tables 9-11). */
+    util::CarbonPerCapacity cps{};
+    /** Wall power per terabyte, active and idle. */
+    util::Power active_power_per_tb{};
+    util::Power idle_power_per_tb{};
+    /** Sustained throughput a terabyte of this tier can serve. */
+    double throughput_mbps_per_tb = 0.0;
+};
+
+/** An enterprise nearline HDD tier (Exos-class helium 3.5"). */
+StorageTier enterpriseHddTier();
+
+/** A datacenter TLC NAND tier. */
+StorageTier datacenterSsdTier();
+
+/** What the deployment must deliver. */
+struct StorageDemand
+{
+    /** User data that must be stored. */
+    util::Capacity capacity{};
+    /** Sustained aggregate throughput required. */
+    double throughput_mbps = 0.0;
+    /** Fraction of time the tier is actively serving I/O. */
+    double duty = 0.3;
+};
+
+/**
+ * Capacity that must be provisioned: the max of the data size and the
+ * capacity needed to reach the throughput target.
+ */
+util::Capacity provisionedCapacity(const StorageTier &tier,
+                                   const StorageDemand &demand);
+
+/**
+ * Whole-life footprint of meeting @p demand on @p tier over
+ * @p lifetime under grid @p use. Embodied is charged in full (the
+ * tier exists for the whole service life).
+ */
+core::CarbonFootprint
+tierFootprint(const StorageTier &tier, const StorageDemand &demand,
+              util::Duration lifetime,
+              const core::OperationalParams &use);
+
+/**
+ * The throughput demand (MB/s) at which @p challenger's whole-life
+ * footprint drops below @p incumbent's, holding capacity and duty
+ * fixed; nullopt when no crossover exists below @p max_mbps.
+ */
+std::optional<double>
+throughputCrossover(const StorageTier &incumbent,
+                    const StorageTier &challenger,
+                    const StorageDemand &base_demand,
+                    util::Duration lifetime,
+                    const core::OperationalParams &use,
+                    double max_mbps = 1.0e6);
+
+} // namespace act::server
+
+#endif // ACT_SERVER_STORAGE_TIER_H

@@ -1,0 +1,278 @@
+#include "ssd/ftl_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace act::ssd {
+
+double
+FtlStats::writeAmplification() const
+{
+    if (user_pages_written == 0)
+        return 1.0;
+    return static_cast<double>(physical_pages_written) /
+           static_cast<double>(user_pages_written);
+}
+
+double
+FtlStats::meanEraseCount(const FtlConfig &config) const
+{
+    return static_cast<double>(erases) / config.num_blocks;
+}
+
+FtlSimulator::FtlSimulator(FtlConfig config) : config_(config)
+{
+    if (config_.num_blocks < 8 || config_.pages_per_block < 1)
+        util::fatal("FTL geometry too small");
+    if (config_.over_provision <= 0.0 || config_.over_provision >= 1.0)
+        util::fatal("over-provisioning factor must be in (0, 1), got ",
+                    config_.over_provision);
+    if (config_.gc_threshold_blocks < 1 ||
+        config_.gc_threshold_blocks >= config_.num_blocks / 2) {
+        util::fatal("bad GC threshold");
+    }
+    if (config_.pattern == WritePattern::HotCold) {
+        if (!(config_.hot_lba_fraction > 0.0 &&
+              config_.hot_lba_fraction < 1.0) ||
+            !(config_.hot_write_fraction >= 0.0 &&
+              config_.hot_write_fraction <= 1.0)) {
+            util::fatal("bad hot/cold workload parameters");
+        }
+    }
+
+    const std::uint64_t physical_pages =
+        static_cast<std::uint64_t>(config_.num_blocks) *
+        config_.pages_per_block;
+    // user * (1 + op) = physical  =>  user = physical / (1 + op).
+    logical_pages_ = static_cast<std::uint64_t>(std::floor(
+        static_cast<double>(physical_pages) /
+        (1.0 + config_.over_provision)));
+    if (logical_pages_ == 0)
+        util::fatal("no logical space left after over-provisioning");
+}
+
+void
+FtlSimulator::reset()
+{
+    blocks_.assign(static_cast<std::size_t>(config_.num_blocks), Block{});
+    page_table_.assign(logical_pages_, -1);
+    reverse_table_.assign(static_cast<std::size_t>(config_.num_blocks) *
+                              config_.pages_per_block,
+                          -1);
+    free_blocks_.clear();
+    for (int b = config_.num_blocks - 1; b >= 0; --b)
+        free_blocks_.push_back(b);
+    active_blocks_ = {-1, -1};
+    gc_blocks_ = {-1, -1};
+    rng_ = util::Xorshift64Star(config_.seed);
+    stats_ = FtlStats{};
+    measuring_ = false;
+}
+
+std::int64_t
+FtlSimulator::pageInBlock(int block_id)
+{
+    Block &block = blocks_[block_id];
+    const std::int64_t page_id =
+        static_cast<std::int64_t>(block_id) * config_.pages_per_block +
+        block.next_page;
+    ++block.next_page;
+    return page_id;
+}
+
+std::int64_t
+FtlSimulator::allocatePage(int stream)
+{
+    int &active = active_blocks_[static_cast<std::size_t>(stream)];
+    if (active < 0 ||
+        blocks_[active].next_page >= config_.pages_per_block) {
+        while (static_cast<int>(free_blocks_.size()) <=
+               config_.gc_threshold_blocks) {
+            collectOneBlock();
+        }
+        active = free_blocks_.back();
+        free_blocks_.pop_back();
+    }
+    return pageInBlock(active);
+}
+
+std::int64_t
+FtlSimulator::allocateGcPage(int stream)
+{
+    int &gc_block = gc_blocks_[static_cast<std::size_t>(stream)];
+    if (gc_block < 0 ||
+        blocks_[gc_block].next_page >= config_.pages_per_block) {
+        if (free_blocks_.empty())
+            util::panic("FTL ran out of blocks during GC");
+        gc_block = free_blocks_.back();
+        free_blocks_.pop_back();
+    }
+    return pageInBlock(gc_block);
+}
+
+int
+FtlSimulator::streamFor(std::uint64_t lba) const
+{
+    const bool separate = config_.separate_hot_cold &&
+                          config_.pattern == WritePattern::HotCold;
+    return (separate && isHotLba(lba)) ? 1 : 0;
+}
+
+int
+FtlSimulator::victimBlock() const
+{
+    int victim = -1;
+    int victim_valid = config_.pages_per_block + 1;
+    for (int b = 0; b < config_.num_blocks; ++b) {
+        const Block &block = blocks_[b];
+        if (b == active_blocks_[0] || b == active_blocks_[1] ||
+            b == gc_blocks_[0] || b == gc_blocks_[1]) {
+            continue;
+        }
+        if (block.next_page < config_.pages_per_block)
+            continue;  // not fully written; skip open/free blocks
+        if (block.valid < victim_valid) {
+            victim_valid = block.valid;
+            victim = b;
+        }
+    }
+    if (victim < 0)
+        util::panic("FTL GC found no victim block");
+    return victim;
+}
+
+void
+FtlSimulator::collectOneBlock()
+{
+    const int victim = victimBlock();
+    Block &block = blocks_[victim];
+    ++stats_.gc_invocations;
+
+    // Relocate live pages.
+    const std::int64_t base =
+        static_cast<std::int64_t>(victim) * config_.pages_per_block;
+    for (int p = 0; p < config_.pages_per_block && block.valid > 0; ++p) {
+        const std::int64_t lba = reverse_table_[base + p];
+        if (lba < 0)
+            continue;
+        reverse_table_[base + p] = -1;
+        --block.valid;
+
+        const std::int64_t new_page =
+            allocateGcPage(streamFor(static_cast<std::uint64_t>(lba)));
+        page_table_[lba] = new_page;
+        reverse_table_[new_page] = lba;
+        ++blocks_[new_page / config_.pages_per_block].valid;
+        if (measuring_) {
+            ++stats_.physical_pages_written;
+            ++stats_.pages_relocated;
+        }
+    }
+
+    block.valid = 0;
+    block.next_page = 0;
+    ++block.erase_count;
+    if (measuring_)
+        ++stats_.erases;
+    free_blocks_.push_back(victim);
+}
+
+bool
+FtlSimulator::isHotLba(std::uint64_t lba) const
+{
+    // The hot set occupies the low end of the logical space.
+    return static_cast<double>(lba) <
+           config_.hot_lba_fraction *
+               static_cast<double>(logical_pages_);
+}
+
+std::uint64_t
+FtlSimulator::nextLba()
+{
+    if (config_.pattern == WritePattern::Uniform)
+        return rng_.nextBelow(logical_pages_);
+
+    const auto hot_pages = static_cast<std::uint64_t>(
+        config_.hot_lba_fraction * static_cast<double>(logical_pages_));
+    if (hot_pages == 0 || hot_pages >= logical_pages_)
+        return rng_.nextBelow(logical_pages_);
+    if (rng_.nextUnit() < config_.hot_write_fraction)
+        return rng_.nextBelow(hot_pages);
+    return hot_pages + rng_.nextBelow(logical_pages_ - hot_pages);
+}
+
+void
+FtlSimulator::writePage(std::uint64_t lba)
+{
+    const std::int64_t old_page = page_table_[lba];
+    if (old_page >= 0) {
+        reverse_table_[old_page] = -1;
+        --blocks_[old_page / config_.pages_per_block].valid;
+    }
+    const std::int64_t new_page = allocatePage(streamFor(lba));
+    page_table_[lba] = new_page;
+    reverse_table_[new_page] = lba;
+    ++blocks_[new_page / config_.pages_per_block].valid;
+    if (measuring_) {
+        ++stats_.user_pages_written;
+        ++stats_.physical_pages_written;
+    }
+}
+
+bool
+FtlSimulator::checkConsistency() const
+{
+    if (blocks_.empty())
+        return false;  // run() has not executed yet
+
+    // Every mapped LBA must point at a page that maps back to it.
+    std::uint64_t mapped = 0;
+    for (std::uint64_t lba = 0; lba < logical_pages_; ++lba) {
+        const std::int64_t page = page_table_[lba];
+        if (page < 0)
+            continue;
+        ++mapped;
+        if (reverse_table_[page] != static_cast<std::int64_t>(lba))
+            return false;
+    }
+
+    // Per-block valid counts match the reverse map, and the total
+    // equals the mapped logical pages.
+    std::uint64_t total_valid = 0;
+    for (int b = 0; b < config_.num_blocks; ++b) {
+        int valid = 0;
+        const std::int64_t base =
+            static_cast<std::int64_t>(b) * config_.pages_per_block;
+        for (int page = 0; page < config_.pages_per_block; ++page) {
+            if (reverse_table_[base + page] >= 0)
+                ++valid;
+        }
+        if (valid != blocks_[b].valid)
+            return false;
+        total_valid += static_cast<std::uint64_t>(valid);
+    }
+    return total_valid == mapped;
+}
+
+FtlStats
+FtlSimulator::run()
+{
+    reset();
+
+    // Precondition: sequential fill, then one drive-write of
+    // pattern-shaped traffic to reach steady state.
+    for (std::uint64_t lba = 0; lba < logical_pages_; ++lba)
+        writePage(lba);
+    for (std::uint64_t i = 0; i < logical_pages_; ++i)
+        writePage(nextLba());
+
+    measuring_ = true;
+    for (std::uint64_t i = 0; i < config_.user_writes; ++i)
+        writePage(nextLba());
+
+    return stats_;
+}
+
+} // namespace act::ssd

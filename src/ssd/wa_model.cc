@@ -1,0 +1,19 @@
+#include "ssd/wa_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace act::ssd {
+
+double
+analyticalWriteAmplification(double over_provision)
+{
+    if (over_provision <= 0.0) {
+        util::fatal("over-provisioning factor must be positive, got ",
+                    over_provision);
+    }
+    return std::max(1.0, (1.0 + over_provision) / (2.0 * over_provision));
+}
+
+} // namespace act::ssd

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Analytical write-amplification model for SSDs under greedy garbage
+ * collection and uniform random writes. With an over-provisioning
+ * (spare) factor rho, the classic steady-state approximation is
+ *
+ *   WA(rho) = (1 + rho) / (2 * rho)
+ *
+ * (Hu et al. / Desnoyers-style analysis), clamped to >= 1. The
+ * trace-driven FTL simulator in ftl_sim.h validates this curve.
+ */
+
+#ifndef ACT_SSD_WA_MODEL_H
+#define ACT_SSD_WA_MODEL_H
+
+namespace act::ssd {
+
+/**
+ * Steady-state write amplification at over-provisioning factor
+ * @p over_provision (spare capacity as a fraction of user capacity).
+ * Fatal when the factor is not positive.
+ */
+double analyticalWriteAmplification(double over_provision);
+
+} // namespace act::ssd
+
+#endif // ACT_SSD_WA_MODEL_H

@@ -1,0 +1,99 @@
+#include "util/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace act::util {
+
+namespace {
+
+std::size_t
+maxLabelWidth(const std::vector<std::string> &labels)
+{
+    std::size_t width = 0;
+    for (const auto &label : labels)
+        width = std::max(width, label.size());
+    return width;
+}
+
+} // namespace
+
+std::string
+renderBarChart(const std::string &title, const std::vector<BarEntry> &entries,
+               int width, int significant_digits)
+{
+    std::ostringstream out;
+    out << title << '\n';
+    if (entries.empty())
+        return out.str();
+
+    double max_value = 0.0;
+    std::vector<std::string> labels;
+    labels.reserve(entries.size());
+    for (const auto &entry : entries) {
+        max_value = std::max(max_value, entry.value);
+        labels.push_back(entry.label);
+    }
+    const std::size_t label_width = maxLabelWidth(labels);
+
+    for (const auto &entry : entries) {
+        const int bar_length =
+            max_value <= 0.0
+                ? 0
+                : static_cast<int>(
+                      std::lround(entry.value / max_value * width));
+        out << "  " << entry.label
+            << std::string(label_width - entry.label.size(), ' ') << " |"
+            << std::string(static_cast<std::size_t>(bar_length), '#') << ' '
+            << formatSig(entry.value, significant_digits);
+        if (!entry.note.empty())
+            out << "  " << entry.note;
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+renderStackedBarChart(const std::string &title, const std::string &first_name,
+                      const std::string &second_name,
+                      const std::vector<StackedBarEntry> &entries, int width)
+{
+    std::ostringstream out;
+    out << title << "  [#=" << first_name << " .=" << second_name << "]\n";
+    if (entries.empty())
+        return out.str();
+
+    double max_total = 0.0;
+    std::vector<std::string> labels;
+    labels.reserve(entries.size());
+    for (const auto &entry : entries) {
+        max_total = std::max(max_total, entry.first + entry.second);
+        labels.push_back(entry.label);
+    }
+    const std::size_t label_width = maxLabelWidth(labels);
+
+    for (const auto &entry : entries) {
+        const double total = entry.first + entry.second;
+        int first_length = 0;
+        int second_length = 0;
+        if (max_total > 0.0) {
+            first_length = static_cast<int>(
+                std::lround(entry.first / max_total * width));
+            second_length = static_cast<int>(
+                std::lround(entry.second / max_total * width));
+        }
+        out << "  " << entry.label
+            << std::string(label_width - entry.label.size(), ' ') << " |"
+            << std::string(static_cast<std::size_t>(first_length), '#')
+            << std::string(static_cast<std::size_t>(second_length), '.')
+            << ' ' << formatSig(total, 4) << " ("
+            << formatSig(entry.first, 4) << " + "
+            << formatSig(entry.second, 4) << ")\n";
+    }
+    return out.str();
+}
+
+} // namespace act::util

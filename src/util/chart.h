@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII bar charts for the figure-reproduction binaries. The paper's
+ * figures are re-emitted as labeled horizontal bars plus the raw series,
+ * so the shape of each figure is visible directly in terminal output.
+ */
+
+#ifndef ACT_UTIL_CHART_H
+#define ACT_UTIL_CHART_H
+
+#include <string>
+#include <vector>
+
+namespace act::util {
+
+/** One bar in a horizontal bar chart. */
+struct BarEntry
+{
+    std::string label;
+    double value = 0.0;
+    /** Optional annotation appended after the numeric value. */
+    std::string note;
+};
+
+/**
+ * Render a horizontal bar chart. Bars are scaled to @p width characters
+ * at the maximum value; each line shows label, bar, value, and note.
+ */
+std::string renderBarChart(const std::string &title,
+                           const std::vector<BarEntry> &entries,
+                           int width = 48, int significant_digits = 4);
+
+/**
+ * Render a stacked two-segment bar chart (e.g., embodied vs operational
+ * carbon), using '#' for the first segment and '.' for the second.
+ */
+struct StackedBarEntry
+{
+    std::string label;
+    double first = 0.0;
+    double second = 0.0;
+};
+
+std::string renderStackedBarChart(const std::string &title,
+                                  const std::string &first_name,
+                                  const std::string &second_name,
+                                  const std::vector<StackedBarEntry> &entries,
+                                  int width = 48);
+
+} // namespace act::util
+
+#endif // ACT_UTIL_CHART_H

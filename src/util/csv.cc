@@ -1,0 +1,80 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace act::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("CsvWriter requires at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("CSV row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+CsvWriter::addRow(const std::string &label, const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatSig(v, 8));
+    addRow(std::move(cells));
+}
+
+std::string
+CsvWriter::escapeField(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string escaped = "\"";
+    for (char c : field) {
+        if (c == '"')
+            escaped += "\"\"";
+        else
+            escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+void
+CsvWriter::write(std::ostream &out) const
+{
+    const auto write_row = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            out << escapeField(cells[i]);
+        }
+        out << '\n';
+    };
+    write_row(headers_);
+    for (const auto &row : rows_)
+        write_row(row);
+}
+
+std::string
+CsvWriter::toString() const
+{
+    std::ostringstream out;
+    write(out);
+    return out.str();
+}
+
+} // namespace act::util

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV emission so every bench binary can dump its series in a
+ * machine-readable form (pass --csv) alongside the human-readable tables.
+ */
+
+#ifndef ACT_UTIL_CSV_H
+#define ACT_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace act::util {
+
+/**
+ * Collects rows and writes RFC-4180-style CSV (quotes fields containing
+ * commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a fully-stringified row; fatal on column-count mismatch. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: label plus doubles. */
+    void addRow(const std::string &label, const std::vector<double> &values);
+
+    void write(std::ostream &out) const;
+    std::string toString() const;
+
+    static std::string escapeField(const std::string &field);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace act::util
+
+#endif // ACT_UTIL_CSV_H

@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+namespace act::util::detail {
+
+void
+fatalImpl(const std::string &message)
+{
+    std::cerr << "fatal: " << message << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &message)
+{
+    std::cerr << "panic: " << message << std::endl;
+    std::abort();
+}
+
+void
+warnImpl(const std::string &message)
+{
+    std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::cout << "info: " << message << std::endl;
+}
+
+} // namespace act::util::detail

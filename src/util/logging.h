@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the gem5 tradition.
+ *
+ * fatal()  -- the condition is the user's fault (bad configuration,
+ *             out-of-range parameter); exits with status 1.
+ * panic()  -- the condition is a bug in ACT itself; aborts.
+ * warn()   -- something is questionable but execution can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef ACT_UTIL_LOGGING_H
+#define ACT_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace act::util {
+
+namespace detail {
+
+[[noreturn]] void fatalImpl(const std::string &message);
+[[noreturn]] void panicImpl(const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+template <typename... Args>
+std::string
+concatenate(Args &&...args)
+{
+    std::ostringstream out;
+    (out << ... << std::forward<Args>(args));
+    return out.str();
+}
+
+} // namespace detail
+
+/** Abort with an error that is the user's fault. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concatenate(std::forward<Args>(args)...));
+}
+
+/** Abort with an error that indicates a bug inside ACT. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concatenate(std::forward<Args>(args)...));
+}
+
+/** Emit a non-fatal warning. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concatenate(std::forward<Args>(args)...));
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concatenate(std::forward<Args>(args)...));
+}
+
+} // namespace act::util
+
+#endif // ACT_UTIL_LOGGING_H

@@ -1,0 +1,134 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace act::util {
+
+double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("mean() of an empty range");
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("geomean() of an empty range");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean() requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+stddev(std::span<const double> values)
+{
+    const double mu = mean(values);
+    double sq_sum = 0.0;
+    for (double v : values)
+        sq_sum += (v - mu) * (v - mu);
+    return std::sqrt(sq_sum / static_cast<double>(values.size()));
+}
+
+double
+minValue(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("minValue() of an empty range");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("maxValue() of an empty range");
+    return *std::max_element(values.begin(), values.end());
+}
+
+std::size_t
+argmin(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("argmin() of an empty range");
+    return static_cast<std::size_t>(
+        std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t
+argmax(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("argmax() of an empty range");
+    return static_cast<std::size_t>(
+        std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+double
+compoundAnnualGrowth(std::span<const double> yearly_values)
+{
+    if (yearly_values.size() < 2)
+        fatal("compoundAnnualGrowth() needs at least two samples");
+    const double first = yearly_values.front();
+    const double last = yearly_values.back();
+    if (first <= 0.0 || last <= 0.0)
+        fatal("compoundAnnualGrowth() requires positive samples");
+    const double periods = static_cast<double>(yearly_values.size() - 1);
+    return std::pow(last / first, 1.0 / periods);
+}
+
+LinearFit
+fitLine(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        fatal("fitLine() needs two equally-sized ranges of >= 2 points");
+
+    const double n = static_cast<double>(x.size());
+    const double mean_x = mean(x);
+    const double mean_y = mean(y);
+
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mean_x;
+        const double dy = y[i] - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0)
+        fatal("fitLine() with all-identical x values");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = mean_y - fit.slope * mean_x;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    (void)n;
+    return fit;
+}
+
+std::vector<double>
+normalizeBy(std::span<const double> values, double baseline)
+{
+    if (baseline == 0.0)
+        fatal("normalizeBy() with a zero baseline");
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (double v : values)
+        out.push_back(v / baseline);
+    return out;
+}
+
+} // namespace act::util

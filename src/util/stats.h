@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Statistics helpers used by the evaluation harnesses: means, geometric
+ * means, dispersion, compound growth rates, and simple least-squares fits.
+ */
+
+#ifndef ACT_UTIL_STATS_H
+#define ACT_UTIL_STATS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace act::util {
+
+/** Arithmetic mean; fatal on an empty input. */
+double mean(std::span<const double> values);
+
+/**
+ * Geometric mean; fatal on an empty input or any non-positive value.
+ * Used to aggregate per-workload speedups exactly as the paper does.
+ */
+double geomean(std::span<const double> values);
+
+/** Population standard deviation. */
+double stddev(std::span<const double> values);
+
+/** Smallest / largest element; fatal on an empty input. */
+double minValue(std::span<const double> values);
+double maxValue(std::span<const double> values);
+
+/** Index of the smallest / largest element; fatal on an empty input. */
+std::size_t argmin(std::span<const double> values);
+std::size_t argmax(std::span<const double> values);
+
+/**
+ * Compound annual growth rate implied by a time series of yearly samples:
+ * (last / first)^(1 / (n - 1)). Requires at least two positive samples.
+ * The paper's "1.21x annual energy efficiency improvement" (Fig. 14) is a
+ * CAGR over per-generation efficiency samples.
+ */
+double compoundAnnualGrowth(std::span<const double> yearly_values);
+
+/** Result of an ordinary least-squares line fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/** Least-squares fit; fatal unless both spans have the same size >= 2. */
+LinearFit fitLine(std::span<const double> x, std::span<const double> y);
+
+/** Normalize each element by the given baseline value. */
+std::vector<double> normalizeBy(std::span<const double> values,
+                                double baseline);
+
+} // namespace act::util
+
+#endif // ACT_UTIL_STATS_H

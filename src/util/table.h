@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness. Every table and
+ * figure binary prints its rows through this class so output is uniform
+ * and easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef ACT_UTIL_TABLE_H
+#define ACT_UTIL_TABLE_H
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace act::util {
+
+/** Column alignment within a rendered table. */
+enum class Align { Left, Right };
+
+/**
+ * A simple monospace table builder.
+ *
+ * Usage:
+ *   Table t({"Node", "EPA (kWh/cm2)"});
+ *   t.addRow({"28nm", "0.90"});
+ *   std::cout << t.render();
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Per-column alignment; defaults to Left for the first column and
+     *  Right for the rest, which suits "name, numbers..." layouts. */
+    void setAlignment(std::vector<Align> alignment);
+
+    /** Append a row; fatal if the cell count mismatches the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: first cell is a label, the rest are numbers rendered
+     *  with the given number of significant digits. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int significant_digits = 4);
+
+    /** Insert a horizontal rule before the next row. */
+    void addSeparator();
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render to a string, one trailing newline included. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator_before = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> alignment_;
+    std::vector<Row> rows_;
+    bool pending_separator_ = false;
+};
+
+} // namespace act::util
+
+#endif // ACT_UTIL_TABLE_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Property tests for the JSON layer: randomly generated documents
+ * round-trip through dump() and parse() structurally unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/json.h"
+#include "util/random.h"
+
+namespace act::config {
+namespace {
+
+/** Generate a pseudo-random JSON value with bounded depth. */
+JsonValue
+randomValue(util::Xorshift64Star &rng, int depth)
+{
+    const std::uint64_t kind = rng.nextBelow(depth > 0 ? 6 : 4);
+    switch (kind) {
+      case 0:
+        return JsonValue(nullptr);
+      case 1:
+        return JsonValue(rng.nextUnit() < 0.5);
+      case 2: {
+        // Mix integers and awkward reals.
+        if (rng.nextUnit() < 0.5) {
+            return JsonValue(static_cast<double>(rng.nextBelow(1000)) -
+                             500.0);
+        }
+        return JsonValue(rng.nextUniform(-1e6, 1e6));
+      }
+      case 3: {
+        std::string text;
+        const std::uint64_t length = rng.nextBelow(12);
+        for (std::uint64_t i = 0; i < length; ++i) {
+            // Printable ASCII plus characters that need escaping.
+            static const char kAlphabet[] =
+                "abcXYZ 019_-\"\\\n\t{}[],:";
+            text += kAlphabet[rng.nextBelow(sizeof(kAlphabet) - 1)];
+        }
+        return JsonValue(std::move(text));
+      }
+      case 4: {
+        JsonArray array;
+        const std::uint64_t size = rng.nextBelow(4);
+        for (std::uint64_t i = 0; i < size; ++i)
+            array.push_back(randomValue(rng, depth - 1));
+        return JsonValue(std::move(array));
+      }
+      default: {
+        JsonObject object;
+        const std::uint64_t size = rng.nextBelow(4);
+        for (std::uint64_t i = 0; i < size; ++i) {
+            object["k" + std::to_string(i) +
+                   std::string(rng.nextBelow(2), '"')] =
+                randomValue(rng, depth - 1);
+        }
+        return JsonValue(std::move(object));
+      }
+    }
+}
+
+/** Structural equality (numbers compared exactly: dump uses %.17g). */
+bool
+structurallyEqual(const JsonValue &a, const JsonValue &b)
+{
+    if (a.isNull())
+        return b.isNull();
+    if (a.isBool())
+        return b.isBool() && a.asBool() == b.asBool();
+    if (a.isNumber())
+        return b.isNumber() && a.asNumber() == b.asNumber();
+    if (a.isString())
+        return b.isString() && a.asString() == b.asString();
+    if (a.isArray()) {
+        if (!b.isArray() || a.asArray().size() != b.asArray().size())
+            return false;
+        for (std::size_t i = 0; i < a.asArray().size(); ++i) {
+            if (!structurallyEqual(a.asArray()[i], b.asArray()[i]))
+                return false;
+        }
+        return true;
+    }
+    if (!b.isObject() || a.asObject().size() != b.asObject().size())
+        return false;
+    auto it_a = a.asObject().begin();
+    auto it_b = b.asObject().begin();
+    for (; it_a != a.asObject().end(); ++it_a, ++it_b) {
+        if (it_a->first != it_b->first ||
+            !structurallyEqual(it_a->second, it_b->second)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonRoundTrip, DumpParseIsIdentity)
+{
+    util::Xorshift64Star rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const JsonValue original = randomValue(rng, 4);
+        // Compact form.
+        const JsonValue compact = JsonValue::parse(original.dump());
+        EXPECT_TRUE(structurallyEqual(original, compact))
+            << original.dump();
+        // Pretty-printed form.
+        const JsonValue pretty = JsonValue::parse(original.dump(2));
+        EXPECT_TRUE(structurallyEqual(original, pretty))
+            << original.dump(2);
+        // Dump is a fixed point after one round trip.
+        EXPECT_EQ(compact.dump(), original.dump());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip,
+                         ::testing::Values(1u, 17u, 99u, 2026u));
+
+} // namespace
+} // namespace act::config

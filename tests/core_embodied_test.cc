@@ -1,0 +1,195 @@
+/** @file Tests for the embodied-carbon model (Eqs. 3-8). */
+
+#include <gtest/gtest.h>
+
+#include "core/embodied.h"
+
+namespace act::core {
+namespace {
+
+using util::asGrams;
+using util::asKilograms;
+using util::gigabytes;
+using util::gramsPerGigabyte;
+using util::squareCentimeters;
+using util::squareMillimeters;
+
+TEST(Cpa, Eq5HandComputedAt10nm)
+{
+    // CPA = (CI_fab * EPA + GPA + MPA) / Y with the paper defaults:
+    // CI_fab = 447.5 g/kWh, EPA(10nm) = 1.475 kWh/cm2,
+    // GPA(10nm, 97%) = 195 g/cm2, MPA = 500 g/cm2, Y = 0.875.
+    const FabParams fab;
+    const double expected =
+        (447.5 * 1.475 + 195.0 + 500.0) / 0.875;
+    EXPECT_NEAR(carbonPerArea(fab, 10.0).value(), expected, 1e-9);
+}
+
+TEST(Cpa, Eq5HandComputedAt28nm)
+{
+    const FabParams fab;
+    const double expected = (447.5 * 0.90 + 137.5 + 500.0) / 0.875;
+    EXPECT_NEAR(carbonPerArea(fab, 28.0).value(), expected, 1e-9);
+}
+
+TEST(Cpa, YieldScalesInversely)
+{
+    FabParams half_yield;
+    half_yield.yield = 0.4375;
+    const FabParams base;
+    EXPECT_NEAR(carbonPerArea(half_yield, 14.0).value(),
+                2.0 * carbonPerArea(base, 14.0).value(), 1e-9);
+}
+
+TEST(Cpa, BadYieldIsFatal)
+{
+    FabParams fab;
+    fab.yield = 0.0;
+    EXPECT_EXIT(carbonPerArea(fab, 14.0), ::testing::ExitedWithCode(1),
+                "");
+    fab.yield = 1.5;
+    EXPECT_EXIT(carbonPerArea(fab, 14.0), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Cpa, RenewableFabCheaperThanTaiwanGrid)
+{
+    // Fig. 6 bottom: the CPA band spans renewable (lower bound) to
+    // Taiwan-grid (upper bound) fabs.
+    for (double nm : {3.0, 7.0, 16.0, 28.0}) {
+        EXPECT_LT(carbonPerArea(FabParams::renewable(), nm).value(),
+                  carbonPerArea(FabParams::taiwanGrid(), nm).value());
+    }
+}
+
+TEST(Cpa, NewerNodesEmitMorePerArea)
+{
+    // Fig. 6: CPA rises towards advanced nodes.
+    const FabParams fab;
+    double prev = carbonPerArea(fab, 28.0).value();
+    for (double nm : {20.0, 14.0, 10.0, 7.0, 5.0, 3.0}) {
+        const double current = carbonPerArea(fab, nm).value();
+        EXPECT_GE(current, prev - 1e-9) << nm;
+        prev = current;
+    }
+}
+
+TEST(Cpa, NamedEuvNodeExceedsBaseline7nm)
+{
+    const FabParams fab;
+    EXPECT_GT(carbonPerAreaNamed(fab, "7nm-EUV").value(),
+              carbonPerArea(fab, 7.0).value());
+    EXPECT_EXIT(carbonPerAreaNamed(fab, "6nm"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(LogicEmbodied, Eq4ScalesWithArea)
+{
+    const FabParams fab;
+    const util::Mass one = logicEmbodied(squareCentimeters(1.0), 14.0,
+                                         fab);
+    const util::Mass two = logicEmbodied(squareCentimeters(2.0), 14.0,
+                                         fab);
+    EXPECT_NEAR(asGrams(two), 2.0 * asGrams(one), 1e-9);
+    EXPECT_NEAR(asGrams(one), carbonPerArea(fab, 14.0).value(), 1e-9);
+}
+
+TEST(StorageEmbodied, Eq6Through8)
+{
+    EXPECT_DOUBLE_EQ(
+        asGrams(storageEmbodied(gigabytes(8.0), gramsPerGigabyte(48.0))),
+        384.0);
+    EXPECT_DOUBLE_EQ(asGrams(storageEmbodied(gigabytes(64.0),
+                                             "10nm NAND")),
+                     640.0);
+    EXPECT_DOUBLE_EQ(asGrams(storageEmbodied(gigabytes(1000.0),
+                                             "BarraCuda")),
+                     4570.0);
+    EXPECT_EXIT(storageEmbodied(gigabytes(1.0), "unknown tech"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Packaging, KrIs150Grams)
+{
+    EXPECT_DOUBLE_EQ(asGrams(kPackagingFootprint), 150.0);
+    EXPECT_DOUBLE_EQ(asGrams(packagingEmbodied(0)), 0.0);
+    EXPECT_DOUBLE_EQ(asGrams(packagingEmbodied(20)), 3000.0);
+    EXPECT_EXIT(packagingEmbodied(-1), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(DeviceEvaluation, Figure4Iphone11)
+{
+    const EmbodiedModel model;
+    const auto device =
+        data::DeviceDatabase::instance().byNameOrDie("iPhone 11");
+    const DeviceFootprint footprint = model.evaluate(device);
+
+    // Paper: ACT bottom-up estimate ~17 kg for the iPhone 11 ICs.
+    EXPECT_NEAR(asKilograms(footprint.total()), 17.0, 0.7);
+    // The A13 is the single largest IC.
+    EXPECT_GT(asKilograms(
+                  footprint.categoryTotal(data::IcCategory::MainSoc)),
+              1.5);
+    // Total = components + packaging.
+    EXPECT_NEAR(asGrams(footprint.total()),
+                asGrams(footprint.componentTotal()) +
+                    asGrams(footprint.packaging),
+                1e-6);
+    EXPECT_EQ(footprint.package_count, 27);
+}
+
+TEST(DeviceEvaluation, Figure4Ipad)
+{
+    const EmbodiedModel model;
+    const auto device =
+        data::DeviceDatabase::instance().byNameOrDie("iPad");
+    // Paper: ACT bottom-up estimate ~21 kg for the iPad ICs.
+    EXPECT_NEAR(asKilograms(model.evaluate(device).total()), 21.0, 0.7);
+}
+
+TEST(DeviceEvaluation, ActBottomUpBelowLcaTopDown)
+{
+    // Fig. 4's headline: ACT's bottom-up estimates (17/21 kg) sit below
+    // the coarse LCA top-down estimates (23/28 kg).
+    const EmbodiedModel model;
+    for (const char *name : {"iPhone 11", "iPad"}) {
+        const auto device =
+            data::DeviceDatabase::instance().byNameOrDie(name);
+        EXPECT_LT(asGrams(model.evaluate(device).total()),
+                  asGrams(device.lca.icEstimate()))
+            << name;
+    }
+}
+
+TEST(DeviceEvaluation, GreenFabShrinksEveryLogicComponent)
+{
+    const auto device =
+        data::DeviceDatabase::instance().byNameOrDie("iPhone 11");
+    const DeviceFootprint base = EmbodiedModel{}.evaluate(device);
+    const DeviceFootprint green =
+        EmbodiedModel{FabParams::renewable()}.evaluate(device);
+    EXPECT_LT(asGrams(green.total()), asGrams(base.total()));
+    // Memory/storage CPS terms are unchanged by the fab CI.
+    EXPECT_DOUBLE_EQ(
+        asGrams(green.categoryTotal(data::IcCategory::Dram)),
+        asGrams(base.categoryTotal(data::IcCategory::Dram)));
+}
+
+TEST(DeviceEvaluation, CategoryTotalsPartitionComponents)
+{
+    const EmbodiedModel model;
+    const auto device =
+        data::DeviceDatabase::instance().byNameOrDie("Dell R740");
+    const DeviceFootprint footprint = model.evaluate(device);
+    double category_sum = 0.0;
+    for (data::IcCategory category :
+         {data::IcCategory::MainSoc, data::IcCategory::CameraIc,
+          data::IcCategory::Dram, data::IcCategory::Flash,
+          data::IcCategory::Hdd, data::IcCategory::OtherIc}) {
+        category_sum += asGrams(footprint.categoryTotal(category));
+    }
+    EXPECT_NEAR(category_sum, asGrams(footprint.componentTotal()), 1e-6);
+}
+
+} // namespace
+} // namespace act::core

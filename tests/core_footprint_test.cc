@@ -1,0 +1,119 @@
+/** @file Tests for Eq. 1/2: operational footprint and CF combination. */
+
+#include <gtest/gtest.h>
+
+#include "core/footprint.h"
+#include "core/operational.h"
+
+namespace act::core {
+namespace {
+
+using util::asGrams;
+using util::grams;
+using util::kilowattHours;
+using util::milliseconds;
+using util::watts;
+using util::years;
+
+TEST(Operational, Eq2Basic)
+{
+    const OperationalParams params =
+        OperationalParams::withIntensity(util::gramsPerKilowattHour(
+            300.0));
+    EXPECT_DOUBLE_EQ(
+        asGrams(operationalFootprint(kilowattHours(2.0), params)), 600.0);
+}
+
+TEST(Operational, Table4CpuInference)
+{
+    // 6.6 W x 6 ms at 300 g/kWh = 3.3 ug CO2 (Table 4, CPU row).
+    const OperationalParams params;
+    const util::Mass opcf =
+        operationalFootprint(watts(6.6), milliseconds(6.0), params);
+    EXPECT_NEAR(util::asMicrograms(opcf), 3.3, 0.01);
+}
+
+TEST(Operational, UtilizationEffectivenessScalesGridEnergy)
+{
+    OperationalParams pue;
+    pue.utilization_effectiveness = 1.5;  // data-center PUE
+    const OperationalParams ideal;
+    EXPECT_DOUBLE_EQ(
+        asGrams(operationalFootprint(kilowattHours(1.0), pue)),
+        1.5 * asGrams(operationalFootprint(kilowattHours(1.0), ideal)));
+}
+
+TEST(Operational, SubUnityEffectivenessIsFatal)
+{
+    OperationalParams params;
+    params.utilization_effectiveness = 0.8;
+    EXPECT_EXIT(operationalFootprint(kilowattHours(1.0), params),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Operational, RegionAndSourceFactories)
+{
+    EXPECT_DOUBLE_EQ(
+        OperationalParams::forRegion(data::Region::Iceland).ci_use.value(),
+        28.0);
+    EXPECT_DOUBLE_EQ(OperationalParams::forSource(
+                         data::EnergySource::CarbonFree)
+                         .ci_use.value(),
+                     0.0);
+}
+
+TEST(Footprint, Eq1AmortizesEmbodiedByLifetimeShare)
+{
+    // T = 1 year of a 4-year lifetime charges 25% of the embodied CF.
+    const CarbonFootprint cf = combineFootprint(
+        grams(100.0), grams(400.0), years(1.0), years(4.0));
+    EXPECT_DOUBLE_EQ(asGrams(cf.operational), 100.0);
+    EXPECT_DOUBLE_EQ(asGrams(cf.embodied_allocated), 100.0);
+    EXPECT_DOUBLE_EQ(asGrams(cf.total()), 200.0);
+    EXPECT_DOUBLE_EQ(cf.embodiedShare(), 0.5);
+}
+
+TEST(Footprint, WholeLifetime)
+{
+    const CarbonFootprint cf =
+        lifetimeFootprint(grams(10.0), grams(30.0));
+    EXPECT_DOUBLE_EQ(asGrams(cf.total()), 40.0);
+    EXPECT_DOUBLE_EQ(cf.embodiedShare(), 0.75);
+}
+
+TEST(Footprint, ZeroTotalHasZeroShare)
+{
+    const CarbonFootprint cf = lifetimeFootprint(grams(0.0), grams(0.0));
+    EXPECT_DOUBLE_EQ(cf.embodiedShare(), 0.0);
+}
+
+TEST(Footprint, InvalidTimesAreFatal)
+{
+    EXPECT_EXIT(combineFootprint(grams(1.0), grams(1.0), years(1.0),
+                                 years(0.0)),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(combineFootprint(grams(1.0), grams(1.0), years(-1.0),
+                                 years(3.0)),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(combineFootprint(grams(1.0), grams(1.0), years(4.0),
+                                 years(3.0)),
+                ::testing::ExitedWithCode(1), "");
+}
+
+/** Property: CF is linear in T for fixed OPCF rate and ECF. */
+class FootprintLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(FootprintLinearity, EmbodiedShareGrowsWithT)
+{
+    const double t_years = GetParam();
+    const CarbonFootprint cf = combineFootprint(
+        grams(0.0), grams(1000.0), years(t_years), years(10.0));
+    EXPECT_NEAR(asGrams(cf.embodied_allocated), 100.0 * t_years, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FootprintLinearity,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.5, 5.0,
+                                           10.0));
+
+} // namespace
+} // namespace act::core

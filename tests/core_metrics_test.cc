@@ -1,0 +1,137 @@
+/** @file Tests for the Table 2 optimization metrics. */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace act::core {
+namespace {
+
+DesignPoint
+makePoint(const std::string &name, double c_grams, double e_kwh,
+          double d_seconds, double a_cm2)
+{
+    DesignPoint point;
+    point.name = name;
+    point.embodied = util::grams(c_grams);
+    point.energy = util::kilowattHours(e_kwh);
+    point.delay = util::seconds(d_seconds);
+    point.area = util::squareCentimeters(a_cm2);
+    return point;
+}
+
+TEST(Metrics, FormulasMatchDefinitions)
+{
+    const DesignPoint p = makePoint("p", 10.0, 2.0, 3.0, 4.0);
+    EXPECT_DOUBLE_EQ(evaluateMetric(Metric::EDP, p), 2.0 * 3.0);
+    EXPECT_DOUBLE_EQ(evaluateMetric(Metric::EDAP, p), 2.0 * 3.0 * 4.0);
+    EXPECT_DOUBLE_EQ(evaluateMetric(Metric::CDP, p), 10.0 * 3.0);
+    EXPECT_DOUBLE_EQ(evaluateMetric(Metric::CEP, p), 10.0 * 2.0);
+    EXPECT_DOUBLE_EQ(evaluateMetric(Metric::C2EP, p), 100.0 * 2.0);
+    EXPECT_DOUBLE_EQ(evaluateMetric(Metric::CE2P, p), 10.0 * 4.0);
+}
+
+TEST(Metrics, EnumerationsMatchTable2)
+{
+    EXPECT_EQ(allMetrics().size(), 6u);
+    EXPECT_EQ(carbonMetrics().size(), 4u);
+    EXPECT_EQ(metricName(Metric::EDP), "EDP");
+    EXPECT_EQ(metricName(Metric::C2EP), "C2EP");
+    EXPECT_FALSE(isCarbonAware(Metric::EDP));
+    EXPECT_FALSE(isCarbonAware(Metric::EDAP));
+    for (Metric m : carbonMetrics())
+        EXPECT_TRUE(isCarbonAware(m));
+}
+
+TEST(Metrics, UseCasesMentionTheRightDomains)
+{
+    EXPECT_NE(std::string(metricUseCase(Metric::CDP)).find("data center"),
+              std::string::npos);
+    EXPECT_NE(std::string(metricUseCase(Metric::CEP)).find("mobile"),
+              std::string::npos);
+    EXPECT_NE(std::string(metricUseCase(Metric::C2EP)).find("embodied"),
+              std::string::npos);
+    EXPECT_NE(
+        std::string(metricUseCase(Metric::CE2P)).find("operational"),
+        std::string::npos);
+}
+
+TEST(Metrics, BestDesignPicksDistinctWinnersPerMetric)
+{
+    // Three designs spanning the classic trade-off: a small efficient
+    // one, a balanced one, and a fast power-hungry one.
+    const std::vector<DesignPoint> points = {
+        makePoint("small", 1.0, 4.0, 8.0, 0.5),
+        makePoint("balanced", 2.0, 2.0, 2.0, 1.0),
+        makePoint("fast", 8.0, 3.0, 1.0, 4.0),
+    };
+    EXPECT_EQ(points[bestDesign(Metric::EDP, points)].name, "fast");
+    EXPECT_EQ(points[bestDesign(Metric::CEP, points)].name, "small");
+    EXPECT_EQ(points[bestDesign(Metric::C2EP, points)].name, "small");
+    EXPECT_EQ(points[bestDesign(Metric::CDP, points)].name, "balanced");
+}
+
+TEST(Metrics, BestDesignOnEmptySpaceIsFatal)
+{
+    const std::vector<DesignPoint> empty;
+    EXPECT_EXIT(bestDesign(Metric::EDP, empty),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Metrics, NormalizationBaselineIsOne)
+{
+    const std::vector<DesignPoint> points = {
+        makePoint("a", 1.0, 1.0, 1.0, 1.0),
+        makePoint("b", 2.0, 2.0, 2.0, 2.0),
+    };
+    const auto normalized = normalizedMetric(Metric::CEP, points, 0);
+    EXPECT_DOUBLE_EQ(normalized[0], 1.0);
+    EXPECT_DOUBLE_EQ(normalized[1], 4.0);
+
+    const auto normalized_b = normalizedMetric(Metric::CEP, points, 1);
+    EXPECT_DOUBLE_EQ(normalized_b[1], 1.0);
+    EXPECT_DOUBLE_EQ(normalized_b[0], 0.25);
+}
+
+TEST(Metrics, NormalizationErrors)
+{
+    const std::vector<DesignPoint> points = {
+        makePoint("zero", 0.0, 0.0, 0.0, 0.0)};
+    EXPECT_EXIT(normalizedMetric(Metric::CEP, points, 1),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(normalizedMetric(Metric::CEP, points, 0),
+                ::testing::ExitedWithCode(1), "");
+}
+
+/**
+ * Property: scaling every design's carbon by a constant never changes
+ * any metric's winner (metrics are scale-invariant rankings).
+ */
+class MetricScaleInvariance
+    : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricScaleInvariance, WinnerUnchangedUnderScaling)
+{
+    const Metric metric = GetParam();
+    std::vector<DesignPoint> points = {
+        makePoint("a", 3.0, 2.0, 5.0, 1.0),
+        makePoint("b", 5.0, 1.0, 4.0, 2.0),
+        makePoint("c", 9.0, 0.5, 2.0, 3.0),
+    };
+    const std::size_t before = bestDesign(metric, points);
+    for (auto &point : points) {
+        point.embodied *= 7.0;
+        point.energy *= 3.0;
+        point.delay *= 2.0;
+        point.area *= 11.0;
+    }
+    EXPECT_EQ(bestDesign(metric, points), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricScaleInvariance,
+                         ::testing::Values(Metric::EDP, Metric::EDAP,
+                                           Metric::CDP, Metric::CEP,
+                                           Metric::C2EP, Metric::CE2P));
+
+} // namespace
+} // namespace act::core

@@ -1,0 +1,101 @@
+/** @file Tests for scenario configuration (de)serialization. */
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/model_config.h"
+
+namespace act::core {
+namespace {
+
+TEST(ModelConfig, DefaultsRoundTrip)
+{
+    const Scenario scenario;
+    const Scenario loaded = scenarioFromJson(toJson(scenario));
+    EXPECT_DOUBLE_EQ(loaded.fab.ci_fab.value(),
+                     scenario.fab.ci_fab.value());
+    EXPECT_DOUBLE_EQ(loaded.fab.abatement, scenario.fab.abatement);
+    EXPECT_DOUBLE_EQ(loaded.fab.yield, scenario.fab.yield);
+    EXPECT_EQ(loaded.fab.lookup, scenario.fab.lookup);
+    EXPECT_DOUBLE_EQ(loaded.operational.ci_use.value(),
+                     scenario.operational.ci_use.value());
+    EXPECT_DOUBLE_EQ(util::asYears(loaded.lifetime),
+                     util::asYears(scenario.lifetime));
+}
+
+TEST(ModelConfig, CustomScenarioRoundTripsThroughText)
+{
+    Scenario scenario;
+    scenario.fab.ci_fab = util::gramsPerKilowattHour(41.0);
+    scenario.fab.abatement = 0.99;
+    scenario.fab.yield = 0.6;
+    scenario.fab.lookup = data::NodeLookup::NearestAnchor;
+    scenario.operational.ci_use = util::gramsPerKilowattHour(820.0);
+    scenario.operational.utilization_effectiveness = 1.4;
+    scenario.lifetime = util::years(5.0);
+
+    const std::string text = toJson(scenario).dump(2);
+    const Scenario loaded =
+        scenarioFromJson(config::JsonValue::parse(text));
+    EXPECT_DOUBLE_EQ(loaded.fab.ci_fab.value(), 41.0);
+    EXPECT_DOUBLE_EQ(loaded.fab.abatement, 0.99);
+    EXPECT_DOUBLE_EQ(loaded.fab.yield, 0.6);
+    EXPECT_EQ(loaded.fab.lookup, data::NodeLookup::NearestAnchor);
+    EXPECT_DOUBLE_EQ(loaded.operational.ci_use.value(), 820.0);
+    EXPECT_DOUBLE_EQ(loaded.operational.utilization_effectiveness, 1.4);
+    EXPECT_DOUBLE_EQ(util::asYears(loaded.lifetime), 5.0);
+}
+
+TEST(ModelConfig, MissingKeysKeepDefaults)
+{
+    const Scenario loaded =
+        scenarioFromJson(config::JsonValue::parse("{}"));
+    const Scenario defaults;
+    EXPECT_DOUBLE_EQ(loaded.fab.yield, defaults.fab.yield);
+    EXPECT_DOUBLE_EQ(util::asYears(loaded.lifetime), 3.0);
+
+    const Scenario partial = scenarioFromJson(
+        config::JsonValue::parse(R"({"fab": {"yield": 0.5}})"));
+    EXPECT_DOUBLE_EQ(partial.fab.yield, 0.5);
+    EXPECT_DOUBLE_EQ(partial.fab.abatement, defaults.fab.abatement);
+}
+
+TEST(ModelConfig, BadLookupIsFatal)
+{
+    EXPECT_EXIT(fabParamsFromJson(config::JsonValue::parse(
+                    R"({"lookup": "sideways"})")),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ModelConfig, NonPositiveLifetimeIsFatal)
+{
+    EXPECT_EXIT(scenarioFromJson(config::JsonValue::parse(
+                    R"({"lifetime_years": 0})")),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ModelConfig, SaveAndLoadFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/act_scenario_test.json";
+    Scenario scenario;
+    scenario.lifetime = util::years(4.0);
+    saveScenario(path, scenario);
+    const Scenario loaded = loadScenario(path);
+    EXPECT_DOUBLE_EQ(util::asYears(loaded.lifetime), 4.0);
+}
+
+TEST(ModelConfig, LoadRejectsMalformedFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/act_scenario_bad.json";
+    {
+        std::ofstream out(path);
+        out << "{ not json";
+    }
+    EXPECT_EXIT(loadScenario(path), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::core

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for diurnal carbon-intensity profiles and carbon-aware
+ * scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheduling.h"
+
+namespace act::core {
+namespace {
+
+using data::DiurnalProfile;
+using util::gramsPerKilowattHour;
+
+TEST(Profiles, FlatProfileIsConstant)
+{
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    for (std::size_t h = 0; h < DiurnalProfile::kHours; ++h)
+        EXPECT_DOUBLE_EQ(profile.at(h).value(), 300.0);
+    EXPECT_DOUBLE_EQ(profile.dailyAverage().value(), 300.0);
+}
+
+TEST(Profiles, SolarProfileAveragesToBlend)
+{
+    const auto base = gramsPerKilowattHour(583.0);
+    for (double share : {0.0, 0.1, 0.25, 0.4}) {
+        const auto profile = DiurnalProfile::solarGrid(base, share);
+        EXPECT_NEAR(profile.dailyAverage().value(),
+                    data::renewableBlend(base, share).value(), 0.5)
+            << share;
+    }
+}
+
+TEST(Profiles, WindProfileAveragesToBlend)
+{
+    const auto base = gramsPerKilowattHour(400.0);
+    const auto profile = DiurnalProfile::windGrid(base, 0.3);
+    const double expected =
+        0.7 * 400.0 +
+        0.3 * data::sourceIntensity(data::EnergySource::Wind).value();
+    EXPECT_NEAR(profile.dailyAverage().value(), expected, 0.5);
+}
+
+TEST(Profiles, SolarDipsMidday)
+{
+    const auto profile = DiurnalProfile::solarGrid(
+        gramsPerKilowattHour(583.0), 0.25);
+    EXPECT_LT(profile.at(12).value(), profile.at(0).value());
+    EXPECT_LT(profile.at(12).value(), profile.at(22).value());
+    // Night hours carry no solar at all.
+    EXPECT_DOUBLE_EQ(profile.at(0).value(), 583.0);
+    EXPECT_DOUBLE_EQ(profile.at(23).value(), 583.0);
+}
+
+TEST(Profiles, HoursByIntensitySortsGreenestFirst)
+{
+    const auto profile = DiurnalProfile::solarGrid(
+        gramsPerKilowattHour(583.0), 0.25);
+    const auto order = profile.hoursByIntensity();
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(profile.at(order[i - 1]).value(),
+                  profile.at(order[i]).value());
+    }
+    // The greenest hour is midday.
+    EXPECT_EQ(order.front(), 12u);
+}
+
+TEST(Profiles, OutOfRangeSharesAreFatal)
+{
+    EXPECT_EXIT(DiurnalProfile::solarGrid(gramsPerKilowattHour(583.0),
+                                          0.6),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(DiurnalProfile::windGrid(gramsPerKilowattHour(583.0),
+                                         -0.1),
+                ::testing::ExitedWithCode(1), "");
+}
+
+DailyLoad
+referenceLoad()
+{
+    DailyLoad load;
+    load.baseline = util::watts(100.0);
+    load.deferrable_energy = util::kilowattHours(2.0);
+    load.deferrable_capacity = util::watts(500.0);
+    return load;
+}
+
+TEST(Scheduling, UniformSpreadsEvenly)
+{
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    const auto result = scheduleUniform(referenceLoad(), profile);
+    for (const auto &energy : result.placement) {
+        EXPECT_NEAR(util::asKilowattHours(energy), 2.0 / 24.0, 1e-12);
+    }
+    // 2.4 kWh baseline + 2 kWh deferrable at 300 g/kWh.
+    EXPECT_NEAR(util::asGrams(result.total()), (2.4 + 2.0) * 300.0,
+                1e-6);
+}
+
+TEST(Scheduling, FlatProfileOffersNoSaving)
+{
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    EXPECT_NEAR(carbonAwareSaving(referenceLoad(), profile), 1.0, 1e-9);
+}
+
+TEST(Scheduling, CarbonAwarePlacesEnergyInGreenHours)
+{
+    const auto profile = DiurnalProfile::solarGrid(
+        gramsPerKilowattHour(583.0), 0.25);
+    const auto result = scheduleCarbonAware(referenceLoad(), profile);
+
+    // All deferrable energy lands somewhere.
+    util::Energy placed{};
+    for (const auto &energy : result.placement)
+        placed += energy;
+    EXPECT_NEAR(util::asKilowattHours(placed), 2.0, 1e-9);
+
+    // Midday (greenest) saturates before night hours get anything.
+    EXPECT_NEAR(util::asKilowattHours(result.placement[12]), 0.5,
+                1e-9);  // 500 W x 1 h
+    EXPECT_DOUBLE_EQ(util::asKilowattHours(result.placement[0]), 0.0);
+
+    // And it beats the uniform schedule.
+    const auto uniform = scheduleUniform(referenceLoad(), profile);
+    EXPECT_LT(util::asGrams(result.deferrable_footprint),
+              util::asGrams(uniform.deferrable_footprint));
+    EXPECT_DOUBLE_EQ(util::asGrams(result.baseline_footprint),
+                     util::asGrams(uniform.baseline_footprint));
+}
+
+TEST(Scheduling, SavingGrowsWithRenewableShare)
+{
+    const auto base = gramsPerKilowattHour(583.0);
+    double prev = 1.0;
+    for (double share : {0.1, 0.2, 0.3, 0.4}) {
+        const double saving = carbonAwareSaving(
+            referenceLoad(), DiurnalProfile::solarGrid(base, share));
+        EXPECT_GT(saving, prev) << share;
+        prev = saving;
+    }
+}
+
+TEST(Scheduling, CapacityConstraintEnforced)
+{
+    DailyLoad load = referenceLoad();
+    load.deferrable_energy = util::kilowattHours(20.0);
+    load.deferrable_capacity = util::watts(500.0);  // max 12 kWh/day
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    EXPECT_EXIT(scheduleCarbonAware(load, profile),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Scheduling, TightCapacityLimitsTheSaving)
+{
+    // With capacity exactly equal to uniform demand, the carbon-aware
+    // schedule has no freedom and matches uniform.
+    DailyLoad load = referenceLoad();
+    load.deferrable_capacity =
+        util::watts(1000.0 * 2.0 / 24.0);  // 2 kWh over 24 h exactly
+    const auto profile = DiurnalProfile::solarGrid(
+        gramsPerKilowattHour(583.0), 0.25);
+    EXPECT_NEAR(carbonAwareSaving(load, profile), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace act::core

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the defect-density yield models and the chiplet
+ * partitioning analysis (the Reuse-tenet "chiplet design" extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/chiplet.h"
+#include "core/embodied.h"
+#include "core/yield.h"
+
+namespace act::core {
+namespace {
+
+using util::squareMillimeters;
+
+TEST(YieldModels, KnownValues)
+{
+    DefectParams defects;
+    defects.defect_density_per_cm2 = 0.1;
+
+    // Poisson at 1 cm2, D0 = 0.1: exp(-0.1).
+    defects.model = YieldModel::Poisson;
+    EXPECT_NEAR(dieYield(util::squareCentimeters(1.0), defects),
+                std::exp(-0.1), 1e-12);
+
+    // Negative binomial, alpha = 3: (1 + 0.1/3)^-3.
+    defects.model = YieldModel::NegativeBinomial;
+    defects.clustering_alpha = 3.0;
+    EXPECT_NEAR(dieYield(util::squareCentimeters(1.0), defects),
+                std::pow(1.0 + 0.1 / 3.0, -3.0), 1e-12);
+
+    // Murphy: ((1 - e^-l)/l)^2.
+    defects.model = YieldModel::Murphy;
+    const double l = 0.1;
+    EXPECT_NEAR(dieYield(util::squareCentimeters(1.0), defects),
+                std::pow((1.0 - std::exp(-l)) / l, 2.0), 1e-12);
+}
+
+TEST(YieldModels, OrderingAtLargeDies)
+{
+    // Clustering (negative binomial) is more forgiving than Poisson
+    // for large dies; Murphy sits between.
+    DefectParams poisson{0.2, 3.0, YieldModel::Poisson};
+    DefectParams murphy{0.2, 3.0, YieldModel::Murphy};
+    DefectParams nb{0.2, 3.0, YieldModel::NegativeBinomial};
+    const util::Area big = squareMillimeters(600.0);
+    EXPECT_LT(dieYield(big, poisson), dieYield(big, murphy));
+    EXPECT_LT(dieYield(big, murphy), dieYield(big, nb));
+}
+
+TEST(YieldModels, InvalidInputsAreFatal)
+{
+    DefectParams defects;
+    EXPECT_EXIT(dieYield(squareMillimeters(0.0), defects),
+                ::testing::ExitedWithCode(1), "");
+    defects.defect_density_per_cm2 = 0.0;
+    EXPECT_EXIT(dieYield(squareMillimeters(100.0), defects),
+                ::testing::ExitedWithCode(1), "");
+    defects = DefectParams{};
+    defects.clustering_alpha = 0.0;
+    EXPECT_EXIT(dieYield(squareMillimeters(100.0), defects),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(YieldModels, EffectiveAreaExceedsRawArea)
+{
+    const DefectParams defects;
+    const util::Area die = squareMillimeters(200.0);
+    EXPECT_GT(util::asSquareMillimeters(
+                  effectiveAreaPerGoodDie(die, defects)),
+              200.0);
+}
+
+/** Property: yield decreases monotonically with die area. */
+class YieldMonotonic : public ::testing::TestWithParam<YieldModel> {};
+
+TEST_P(YieldMonotonic, LargerDiesYieldWorse)
+{
+    DefectParams defects;
+    defects.model = GetParam();
+    double prev = 1.0;
+    for (double mm2 = 25.0; mm2 <= 900.0; mm2 += 25.0) {
+        const double y = dieYield(squareMillimeters(mm2), defects);
+        EXPECT_LT(y, prev);
+        EXPECT_GT(y, 0.0);
+        prev = y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, YieldMonotonic,
+                         ::testing::Values(YieldModel::Poisson,
+                                           YieldModel::Murphy,
+                                           YieldModel::NegativeBinomial));
+
+TEST(Chiplets, SmallDiesStayMonolithic)
+{
+    const core::FabParams fab;
+    ChipletParams params;
+    params.defects.defect_density_per_cm2 = 0.15;
+    const auto sweep =
+        chipletSweep(squareMillimeters(100.0), 7.0, fab, params);
+    EXPECT_EQ(sweep[optimalChipletCount(sweep)].num_chiplets, 1);
+}
+
+TEST(Chiplets, LargeDiesPreferPartitioning)
+{
+    const core::FabParams fab;
+    ChipletParams params;
+    params.defects.defect_density_per_cm2 = 0.15;
+    const auto sweep =
+        chipletSweep(squareMillimeters(800.0), 7.0, fab, params);
+    EXPECT_GT(sweep[optimalChipletCount(sweep)].num_chiplets, 2);
+    // Monolithic 800 mm2 wastes a lot of yielded silicon.
+    EXPECT_LT(util::asGrams(sweep[optimalChipletCount(sweep)].total()),
+              0.6 * util::asGrams(sweep[0].total()));
+}
+
+TEST(Chiplets, YieldImprovesWithPartitioning)
+{
+    const core::FabParams fab;
+    const ChipletParams params;
+    const auto sweep =
+        chipletSweep(squareMillimeters(600.0), 7.0, fab, params);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GT(sweep[i].chiplet_yield, sweep[i - 1].chiplet_yield);
+}
+
+TEST(Chiplets, MonolithicHasNoInterposerOrInterfaceOverhead)
+{
+    const core::FabParams fab;
+    const ChipletParams params;
+    const auto point = evaluateChiplets(squareMillimeters(300.0), 1,
+                                        7.0, fab, params);
+    EXPECT_DOUBLE_EQ(util::asGrams(point.interposer_embodied), 0.0);
+    EXPECT_NEAR(util::asSquareMillimeters(point.chiplet_area), 300.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(util::asGrams(point.assembly_embodied),
+                     util::asGrams(kPackagingFootprint));
+}
+
+TEST(Chiplets, CostModelComponentsAddUp)
+{
+    const core::FabParams fab;
+    const ChipletParams params;
+    const auto point = evaluateChiplets(squareMillimeters(600.0), 4,
+                                        7.0, fab, params);
+    EXPECT_NEAR(util::asGrams(point.total()),
+                util::asGrams(point.silicon_embodied) +
+                    util::asGrams(point.interposer_embodied) +
+                    util::asGrams(point.assembly_embodied),
+                1e-9);
+    // Four chiplets: one package + 3 * 50% assembly increments.
+    EXPECT_NEAR(util::asGrams(point.assembly_embodied),
+                150.0 * (1.0 + 0.5 * 3.0), 1e-9);
+}
+
+TEST(Chiplets, PerfectYieldMakesMonolithicOptimal)
+{
+    // With essentially no defects there is nothing for chiplets to
+    // recover, so overheads make partitioning strictly worse.
+    const core::FabParams fab;
+    ChipletParams params;
+    params.defects.defect_density_per_cm2 = 1e-6;
+    const auto sweep =
+        chipletSweep(squareMillimeters(800.0), 7.0, fab, params);
+    EXPECT_EQ(sweep[optimalChipletCount(sweep)].num_chiplets, 1);
+}
+
+TEST(Chiplets, InvalidArgumentsAreFatal)
+{
+    const core::FabParams fab;
+    const ChipletParams params;
+    EXPECT_EXIT(evaluateChiplets(squareMillimeters(100.0), 0, 7.0, fab,
+                                 params),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(evaluateChiplets(squareMillimeters(0.0), 2, 7.0, fab,
+                                 params),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(optimalChipletCount({}), ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace act::core

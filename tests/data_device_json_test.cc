@@ -1,0 +1,185 @@
+/** @file Tests for JSON device definitions and life-cycle estimation. */
+
+#include <gtest/gtest.h>
+
+#include "core/lifecycle.h"
+#include "data/device_json.h"
+
+namespace act::data {
+namespace {
+
+const char *kCustomPhone = R"({
+    "name": "custom-phone",
+    "release_year": 2024,
+    "ics": [
+        {"name": "SoC", "kind": "logic", "category": "main_soc",
+         "area_mm2": 100, "node_nm": 5, "packages": 1},
+        {"name": "Modem", "kind": "logic", "area_mm2": 50,
+         "node_nm": 7, "fab_node": "7nm-EUV"},
+        {"name": "DRAM", "kind": "dram", "category": "dram",
+         "capacity_gb": 12, "technology": "LPDDR4"},
+        {"name": "Flash", "kind": "nand", "category": "flash",
+         "capacity_gb": 256, "technology": "1z NAND TLC",
+         "packages": 2}
+    ],
+    "lca": {"total_kg": 60, "production_share": 0.8,
+            "use_share": 0.15, "transport_share": 0.04,
+            "eol_share": 0.01, "ic_share_of_production": 0.5}
+})";
+
+TEST(DeviceJson, ParsesCustomDevice)
+{
+    const DeviceRecord device =
+        deviceFromJson(config::JsonValue::parse(kCustomPhone));
+    EXPECT_EQ(device.name, "custom-phone");
+    EXPECT_EQ(device.release_year, 2024);
+    ASSERT_EQ(device.ics.size(), 4u);
+    EXPECT_EQ(device.ics[0].kind, IcKind::Logic);
+    EXPECT_EQ(device.ics[0].category, IcCategory::MainSoc);
+    EXPECT_DOUBLE_EQ(
+        util::asSquareMillimeters(device.ics[0].area), 100.0);
+    EXPECT_EQ(device.ics[1].fab_node_name, "7nm-EUV");
+    EXPECT_EQ(device.ics[1].category, IcCategory::OtherIc);  // default
+    EXPECT_DOUBLE_EQ(util::asGigabytes(device.ics[3].capacity), 256.0);
+    EXPECT_EQ(device.ics[3].package_count, 2);
+    EXPECT_DOUBLE_EQ(util::asKilograms(device.lca.total), 60.0);
+}
+
+TEST(DeviceJson, EvaluatesUnderTheEmbodiedModel)
+{
+    const DeviceRecord device =
+        deviceFromJson(config::JsonValue::parse(kCustomPhone));
+    const core::EmbodiedModel model;
+    const auto footprint = model.evaluate(device);
+    EXPECT_GT(util::asKilograms(footprint.total()), 2.0);
+    EXPECT_EQ(footprint.package_count, 5);
+    // 12 GB LPDDR4 at 48 g/GB.
+    EXPECT_DOUBLE_EQ(
+        util::asGrams(footprint.categoryTotal(IcCategory::Dram)),
+        12.0 * 48.0);
+}
+
+TEST(DeviceJson, RoundTripsThroughText)
+{
+    const DeviceRecord device =
+        deviceFromJson(config::JsonValue::parse(kCustomPhone));
+    const DeviceRecord reloaded = deviceFromJson(toJson(device));
+    ASSERT_EQ(reloaded.ics.size(), device.ics.size());
+    for (std::size_t i = 0; i < device.ics.size(); ++i) {
+        EXPECT_EQ(reloaded.ics[i].name, device.ics[i].name);
+        EXPECT_EQ(reloaded.ics[i].kind, device.ics[i].kind);
+        EXPECT_EQ(reloaded.ics[i].category, device.ics[i].category);
+        EXPECT_EQ(reloaded.ics[i].package_count,
+                  device.ics[i].package_count);
+    }
+    const core::EmbodiedModel model;
+    EXPECT_DOUBLE_EQ(
+        util::asGrams(model.evaluate(device).total()),
+        util::asGrams(model.evaluate(reloaded).total()));
+}
+
+TEST(DeviceJson, BuiltinDevicesRoundTrip)
+{
+    const core::EmbodiedModel model;
+    for (const auto &device : DeviceDatabase::instance().records()) {
+        const DeviceRecord reloaded = deviceFromJson(toJson(device));
+        if (device.ics.empty())
+            continue;
+        EXPECT_NEAR(util::asGrams(model.evaluate(reloaded).total()),
+                    util::asGrams(model.evaluate(device).total()), 1e-6)
+            << device.name;
+    }
+}
+
+TEST(DeviceJson, RejectsBadDefinitions)
+{
+    const auto parse_device = [](const char *text) {
+        return deviceFromJson(config::JsonValue::parse(text));
+    };
+    // Unknown kind.
+    EXPECT_EXIT(parse_device(R"({"name": "x", "ics": [
+                    {"name": "a", "kind": "quantum"}]})"),
+                ::testing::ExitedWithCode(1), "");
+    // Logic without area.
+    EXPECT_EXIT(parse_device(R"({"name": "x", "ics": [
+                    {"name": "a", "kind": "logic", "node_nm": 7}]})"),
+                ::testing::ExitedWithCode(1), "");
+    // Out-of-range node.
+    EXPECT_EXIT(parse_device(R"({"name": "x", "ics": [
+                    {"name": "a", "kind": "logic", "area_mm2": 10,
+                     "node_nm": 90}]})"),
+                ::testing::ExitedWithCode(1), "");
+    // Unknown storage technology.
+    EXPECT_EXIT(parse_device(R"({"name": "x", "ics": [
+                    {"name": "a", "kind": "nand", "capacity_gb": 64,
+                     "technology": "optane"}]})"),
+                ::testing::ExitedWithCode(1), "");
+    // Unknown named fab node.
+    EXPECT_EXIT(parse_device(R"({"name": "x", "ics": [
+                    {"name": "a", "kind": "logic", "area_mm2": 10,
+                     "node_nm": 7, "fab_node": "6nm"}]})"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(DeviceJson, FileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "/act_device_test.json";
+    const DeviceRecord device =
+        deviceFromJson(config::JsonValue::parse(kCustomPhone));
+    saveDeviceFile(path, device);
+    const DeviceRecord loaded = loadDeviceFile(path);
+    EXPECT_EQ(loaded.name, "custom-phone");
+    EXPECT_EQ(loaded.ics.size(), 4u);
+    EXPECT_EXIT(loadDeviceFile("/nonexistent/device.json"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Lifecycle, PhasesAnchorOnTheIcModel)
+{
+    const DeviceRecord device =
+        deviceFromJson(config::JsonValue::parse(kCustomPhone));
+    const core::FabParams fab;
+    const auto estimate = core::estimateLifecycle(device, fab);
+    const core::EmbodiedModel model(fab);
+
+    EXPECT_DOUBLE_EQ(util::asGrams(estimate.ic_manufacturing),
+                     util::asGrams(model.evaluate(device).total()));
+    // ic_share = 0.5, so other manufacturing equals the IC slice.
+    EXPECT_NEAR(util::asGrams(estimate.other_manufacturing),
+                util::asGrams(estimate.ic_manufacturing), 1e-6);
+    // Shares: production 0.8, use 0.15 => use / production = 0.1875.
+    EXPECT_NEAR(util::asGrams(estimate.use) /
+                    util::asGrams(estimate.manufacturing()),
+                0.15 / 0.8, 1e-9);
+    EXPECT_GT(estimate.manufacturingShare(), 0.7);
+}
+
+TEST(Lifecycle, GreenerFabShrinksTheWholeEstimate)
+{
+    const auto device =
+        DeviceDatabase::instance().byNameOrDie("iPhone 11");
+    const auto base =
+        core::estimateLifecycle(device, core::FabParams{});
+    const auto green = core::estimateLifecycle(
+        device, core::FabParams::renewable());
+    EXPECT_LT(util::asGrams(green.total()), util::asGrams(base.total()));
+}
+
+TEST(Lifecycle, RejectsDevicesWithoutBomOrShares)
+{
+    const core::FabParams fab;
+    const auto no_bom =
+        DeviceDatabase::instance().byNameOrDie("iPhone 3GS");
+    EXPECT_EXIT(core::estimateLifecycle(no_bom, fab),
+                ::testing::ExitedWithCode(1), "");
+
+    DeviceRecord bad = deviceFromJson(
+        config::JsonValue::parse(kCustomPhone));
+    bad.lca.ic_share_of_production = 0.0;
+    EXPECT_EXIT(core::estimateLifecycle(bad, fab),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::data

@@ -1,0 +1,135 @@
+/** @file Tests for the device BOM database (Figs. 1/4/16/17, Table 12). */
+
+#include <gtest/gtest.h>
+
+#include "data/device_db.h"
+
+namespace act::data {
+namespace {
+
+const DeviceDatabase &db = DeviceDatabase::instance();
+
+TEST(DeviceDb, HasAllStudiedPlatforms)
+{
+    for (const char *name : {"iPhone 3GS", "iPhone 11", "iPad",
+                             "Fairphone 3", "Dell R740"}) {
+        EXPECT_TRUE(db.findByName(name).has_value()) << name;
+    }
+    EXPECT_FALSE(db.findByName("Pixel 4").has_value());
+    EXPECT_EXIT(db.byNameOrDie("Pixel 4"), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(DeviceDb, Figure1LifeCycleShares)
+{
+    const DeviceRecord iphone3 = db.byNameOrDie("iPhone 3GS");
+    EXPECT_DOUBLE_EQ(iphone3.lca.production_share, 0.45);
+    EXPECT_DOUBLE_EQ(iphone3.lca.use_share, 0.49);
+
+    const DeviceRecord iphone11 = db.byNameOrDie("iPhone 11");
+    EXPECT_DOUBLE_EQ(iphone11.lca.production_share, 0.79);
+    EXPECT_DOUBLE_EQ(iphone11.lca.use_share, 0.17);
+}
+
+TEST(DeviceDb, Figure4TopDownIcEstimates)
+{
+    // The paper's LCA-based top-down estimates: 23 kg (iPhone 11) and
+    // 28 kg (iPad).
+    EXPECT_NEAR(util::asKilograms(
+                    db.byNameOrDie("iPhone 11").lca.icEstimate()),
+                23.0, 0.2);
+    EXPECT_NEAR(util::asKilograms(db.byNameOrDie("iPad").lca.icEstimate()),
+                28.0, 0.2);
+}
+
+/** Every device's LCA shares form a distribution. */
+class DeviceShares : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeviceShares, SharesSumToOne)
+{
+    const DeviceRecord device = db.byNameOrDie(GetParam());
+    const double sum = device.lca.production_share +
+                       device.lca.use_share +
+                       device.lca.transport_share + device.lca.eol_share;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(util::asKilograms(device.lca.total), 0.0);
+}
+
+TEST_P(DeviceShares, DerivedFootprintsConsistent)
+{
+    const DeviceRecord device = db.byNameOrDie(GetParam());
+    EXPECT_NEAR(util::asGrams(device.lca.productionFootprint()),
+                util::asGrams(device.lca.total) *
+                    device.lca.production_share,
+                1e-6);
+    EXPECT_LE(util::asGrams(device.lca.icEstimate()),
+              util::asGrams(device.lca.productionFootprint()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceShares,
+                         ::testing::Values("iPhone 3GS", "iPhone 11",
+                                           "iPad", "Fairphone 3",
+                                           "Dell R740"));
+
+TEST(DeviceDb, BomComponentsAreWellFormed)
+{
+    for (const auto &device : db.records()) {
+        for (const auto &ic : device.ics) {
+            EXPECT_FALSE(ic.name.empty());
+            EXPECT_GE(ic.package_count, 1);
+            if (ic.kind == IcKind::Logic) {
+                EXPECT_GT(util::asSquareMillimeters(ic.area), 0.0);
+                EXPECT_GE(ic.node_nm, 3.0);
+                EXPECT_LE(ic.node_nm, 28.0);
+            } else {
+                EXPECT_GT(util::asGigabytes(ic.capacity), 0.0);
+                EXPECT_FALSE(ic.technology.empty());
+            }
+        }
+    }
+}
+
+TEST(DeviceDb, Iphone3HasNoBomOlderNodesOutOfModelRange)
+{
+    EXPECT_TRUE(db.byNameOrDie("iPhone 3GS").ics.empty());
+    EXPECT_FALSE(db.byNameOrDie("iPhone 11").ics.empty());
+}
+
+TEST(DeviceDb, BreakdownsSumToOneWherePresent)
+{
+    for (const char *name : {"Fairphone 3", "Dell R740"}) {
+        const DeviceRecord device = db.byNameOrDie(name);
+        ASSERT_FALSE(device.lca_breakdown.empty()) << name;
+        double sum = 0.0;
+        for (const auto &entry : device.lca_breakdown)
+            sum += entry.share;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << name;
+    }
+}
+
+TEST(DeviceDb, DellR740SsdDominatesPublishedBreakdown)
+{
+    // Fig. 17: SSDs are the largest slice of the R740 LCA.
+    const DeviceRecord dell = db.byNameOrDie("Dell R740");
+    double ssd_share = 0.0;
+    double max_other = 0.0;
+    for (const auto &entry : dell.lca_breakdown) {
+        if (entry.label == "SSD")
+            ssd_share = entry.share;
+        else
+            max_other = std::max(max_other, entry.share);
+    }
+    EXPECT_GT(ssd_share, max_other);
+}
+
+TEST(DeviceDb, CategoryNames)
+{
+    EXPECT_EQ(icCategoryName(IcCategory::MainSoc), "Main SoC");
+    EXPECT_EQ(icCategoryName(IcCategory::CameraIc), "Camera ICs");
+    EXPECT_EQ(icCategoryName(IcCategory::Dram), "DRAM");
+    EXPECT_EQ(icCategoryName(IcCategory::Flash), "Flash");
+    EXPECT_EQ(icCategoryName(IcCategory::OtherIc), "Other ICs");
+}
+
+} // namespace
+} // namespace act::data

@@ -1,0 +1,128 @@
+/** @file Tests for the Table 7/8 fab database and node interpolation. */
+
+#include <gtest/gtest.h>
+
+#include "data/fab_db.h"
+
+namespace act::data {
+namespace {
+
+const FabDatabase &db = FabDatabase::instance();
+
+TEST(Table7, ExactEpaAnchors)
+{
+    EXPECT_DOUBLE_EQ(db.epa(28.0).value(), 0.90);
+    EXPECT_DOUBLE_EQ(db.epa(20.0).value(), 1.2);
+    EXPECT_DOUBLE_EQ(db.epa(14.0).value(), 1.2);
+    EXPECT_DOUBLE_EQ(db.epa(10.0).value(), 1.475);
+    EXPECT_DOUBLE_EQ(db.epa(7.0).value(), 1.52);
+    EXPECT_DOUBLE_EQ(db.epa(5.0).value(), 2.75);
+    EXPECT_DOUBLE_EQ(db.epa(3.0).value(), 2.75);
+}
+
+TEST(Table7, ExactGpaAnchorsAtCharacterizedAbatements)
+{
+    EXPECT_DOUBLE_EQ(db.gpa(28.0, 0.95).value(), 175.0);
+    EXPECT_DOUBLE_EQ(db.gpa(28.0, 0.99).value(), 100.0);
+    EXPECT_DOUBLE_EQ(db.gpa(7.0, 0.95).value(), 350.0);
+    EXPECT_DOUBLE_EQ(db.gpa(7.0, 0.99).value(), 200.0);
+    EXPECT_DOUBLE_EQ(db.gpa(3.0, 0.95).value(), 470.0);
+    EXPECT_DOUBLE_EQ(db.gpa(3.0, 0.99).value(), 275.0);
+}
+
+TEST(Table7, DefaultAbatementIsBetweenColumns)
+{
+    // 97% abatement (TSMC) is midway between the 95/99 columns.
+    EXPECT_DOUBLE_EQ(db.gpa(28.0).value(), (175.0 + 100.0) / 2.0);
+    EXPECT_DOUBLE_EQ(db.gpa(10.0).value(), (240.0 + 150.0) / 2.0);
+}
+
+TEST(Table7, NamedEuvVariants)
+{
+    const auto euv = db.findByName("7nm-EUV");
+    ASSERT_TRUE(euv.has_value());
+    EXPECT_DOUBLE_EQ(euv->epa.value(), 2.15);
+    EXPECT_DOUBLE_EQ(euv->nm, 7.0);
+    const auto euv_dp = db.findByName("7nm-euv-dp");
+    ASSERT_TRUE(euv_dp.has_value());
+    EXPECT_DOUBLE_EQ(euv_dp->epa.value(), 2.15);
+    EXPECT_FALSE(db.findByName("9nm").has_value());
+}
+
+TEST(Table7, RecordListMatchesPaperRowCount)
+{
+    EXPECT_EQ(db.records().size(), 9u);
+}
+
+TEST(Table8, RawMaterialIntensity)
+{
+    EXPECT_DOUBLE_EQ(db.mpa().value(), 500.0);
+}
+
+TEST(FabDb, InterpolationBetweenAnchors)
+{
+    // 16 nm sits between the 14 nm and 20 nm anchors: EPA is flat 1.2
+    // there, GPA between 190-200 (95% column).
+    EXPECT_DOUBLE_EQ(db.epa(16.0).value(), 1.2);
+    const double gpa95_16 = db.gpa(16.0, 0.95).value();
+    EXPECT_GT(gpa95_16, 190.0);
+    EXPECT_LT(gpa95_16, 200.0);
+    // 8 nm sits between 10 and 7 nm.
+    const double epa8 = db.epa(8.0).value();
+    EXPECT_GT(epa8, 1.475);
+    EXPECT_LT(epa8, 1.52);
+}
+
+TEST(FabDb, NearestAnchorLookup)
+{
+    EXPECT_DOUBLE_EQ(db.epa(16.0, NodeLookup::NearestAnchor).value(),
+                     1.2);  // 14 nm anchor (log-nearest)
+    EXPECT_DOUBLE_EQ(db.epa(8.0, NodeLookup::NearestAnchor).value(),
+                     1.52);  // 7 nm anchor
+    EXPECT_DOUBLE_EQ(db.epa(26.0, NodeLookup::NearestAnchor).value(),
+                     0.90);  // 28 nm anchor
+}
+
+TEST(FabDb, OutOfRangeNodesAreFatal)
+{
+    EXPECT_EXIT(db.epa(2.0), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(db.epa(45.0), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(db.gpa(0.0), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(FabDb, OutOfRangeAbatementIsFatal)
+{
+    EXPECT_EXIT(db.gpa(10.0, 0.5), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(db.gpa(10.0, 1.01), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(FabDb, HigherAbatementNeverIncreasesEmissions)
+{
+    for (double nm : {3.0, 5.0, 7.0, 10.0, 14.0, 20.0, 28.0}) {
+        EXPECT_GE(db.gpa(nm, 0.95).value(), db.gpa(nm, 0.97).value());
+        EXPECT_GE(db.gpa(nm, 0.97).value(), db.gpa(nm, 0.99).value());
+        EXPECT_GE(db.gpa(nm, 0.99).value(), db.gpa(nm, 1.0).value());
+        EXPECT_GE(db.gpa(nm, 1.0).value(), 0.0);
+    }
+}
+
+/** Property: EPA and GPA grow monotonically towards newer nodes. */
+class NodeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NodeSweep, NewerNodesNeverCheaper)
+{
+    const double nm = GetParam();
+    const double finer = nm - 0.5;
+    if (finer < FabDatabase::kMinNode)
+        return;
+    EXPECT_GE(db.epa(finer).value(), db.epa(nm).value() - 1e-12);
+    EXPECT_GE(db.gpa(finer).value(), db.gpa(nm).value() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NodeSweep,
+                         ::testing::Values(3.5, 4.0, 5.0, 6.0, 7.0, 8.0,
+                                           10.0, 12.0, 14.0, 16.0, 20.0,
+                                           22.0, 28.0));
+
+} // namespace
+} // namespace act::data

@@ -1,0 +1,115 @@
+/** @file Tests for Monte Carlo uncertainty propagation. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dse/montecarlo.h"
+
+namespace act::dse {
+namespace {
+
+TEST(MonteCarlo, UniformSumMatchesAnalyticMoments)
+{
+    // Sum of two independent U[0, 1]: mean 1, variance 1/6.
+    const std::vector<UncertainParameter> parameters = {
+        {"a", Distribution::Uniform, 0.5, 0.0, 1.0},
+        {"b", Distribution::Uniform, 0.5, 0.0, 1.0},
+    };
+    const auto result = monteCarlo(
+        parameters,
+        [](const std::vector<double> &v) { return v[0] + v[1]; },
+        50'000);
+    EXPECT_NEAR(result.mean, 1.0, 0.01);
+    EXPECT_NEAR(result.stddev, std::sqrt(1.0 / 6.0), 0.01);
+    EXPECT_NEAR(result.p50, 1.0, 0.02);
+    EXPECT_GE(result.min, 0.0);
+    EXPECT_LE(result.max, 2.0);
+}
+
+TEST(MonteCarlo, TriangularModeShiftsTheMean)
+{
+    // Triangular(0, 1) with mode 0.9 has mean (0 + 1 + 0.9)/3.
+    const std::vector<UncertainParameter> parameters = {
+        {"t", Distribution::Triangular, 0.9, 0.0, 1.0},
+    };
+    const auto result = monteCarlo(
+        parameters,
+        [](const std::vector<double> &v) { return v[0]; }, 50'000);
+    EXPECT_NEAR(result.mean, 1.9 / 3.0, 0.01);
+}
+
+TEST(MonteCarlo, PercentilesAreOrdered)
+{
+    const std::vector<UncertainParameter> parameters = {
+        {"x", Distribution::Uniform, 5.0, 1.0, 9.0},
+    };
+    const auto result = monteCarlo(
+        parameters,
+        [](const std::vector<double> &v) { return v[0] * v[0]; },
+        10'000);
+    EXPECT_LE(result.min, result.p5);
+    EXPECT_LE(result.p5, result.p50);
+    EXPECT_LE(result.p50, result.p95);
+    EXPECT_LE(result.p95, result.max);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed)
+{
+    const std::vector<UncertainParameter> parameters = {
+        {"x", Distribution::Uniform, 0.5, 0.0, 1.0},
+    };
+    const auto model = [](const std::vector<double> &v) {
+        return v[0];
+    };
+    const auto a = monteCarlo(parameters, model, 1'000, 11);
+    const auto b = monteCarlo(parameters, model, 1'000, 11);
+    EXPECT_DOUBLE_EQ(a.mean, b.mean);
+    EXPECT_DOUBLE_EQ(a.p95, b.p95);
+    const auto c = monteCarlo(parameters, model, 1'000, 12);
+    EXPECT_NE(a.mean, c.mean);
+}
+
+TEST(MonteCarlo, CpaUncertaintyBandCoversTheDeterministicValue)
+{
+    // Eq. 5 at 7 nm with the Table 1 ranges: the deterministic default
+    // (~1663 g/cm2) must sit inside the sampled [p5, p95] band.
+    const std::vector<UncertainParameter> parameters = {
+        {"ci_fab", Distribution::Triangular, 447.5, 41.0, 583.0},
+        {"epa", Distribution::Triangular, 1.52, 1.52 * 0.8, 1.52 * 1.2},
+        {"gpa", Distribution::Uniform, 275.0, 200.0, 350.0},
+        {"mpa", Distribution::Uniform, 500.0, 400.0, 600.0},
+        {"yield", Distribution::Triangular, 0.875, 0.6, 0.95},
+    };
+    const auto result = monteCarlo(
+        parameters, [](const std::vector<double> &v) {
+            return (v[0] * v[1] + v[2] + v[3]) / v[4];
+        });
+    EXPECT_LT(result.p5, 1663.0);
+    EXPECT_GT(result.p95, 1663.0);
+    EXPECT_GT(result.stddev, 100.0);  // the band is wide
+}
+
+TEST(MonteCarlo, InvalidInputsAreFatal)
+{
+    const auto model = [](const std::vector<double> &v) {
+        return v[0];
+    };
+    EXPECT_EXIT(monteCarlo({}, model), ::testing::ExitedWithCode(1),
+                "");
+    const std::vector<UncertainParameter> inverted = {
+        {"x", Distribution::Uniform, 0.5, 1.0, 0.0}};
+    EXPECT_EXIT(monteCarlo(inverted, model),
+                ::testing::ExitedWithCode(1), "");
+    const std::vector<UncertainParameter> off_baseline = {
+        {"x", Distribution::Uniform, 2.0, 0.0, 1.0}};
+    EXPECT_EXIT(monteCarlo(off_baseline, model),
+                ::testing::ExitedWithCode(1), "");
+    const std::vector<UncertainParameter> ok = {
+        {"x", Distribution::Uniform, 0.5, 0.0, 1.0}};
+    EXPECT_EXIT(monteCarlo(ok, model, 10),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::dse

@@ -1,0 +1,84 @@
+/** @file Tests for the tornado sensitivity analysis. */
+
+#include <gtest/gtest.h>
+
+#include "core/embodied.h"
+#include "dse/sensitivity.h"
+
+namespace act::dse {
+namespace {
+
+TEST(Tornado, RanksParametersBySwing)
+{
+    const std::vector<ParameterRange> parameters = {
+        {"big", 1.0, 0.0, 10.0},
+        {"small", 1.0, 0.9, 1.1},
+        {"medium", 1.0, 0.0, 2.0},
+    };
+    // Model: sum of all parameters.
+    const auto entries =
+        tornado(parameters, [](const std::vector<double> &v) {
+            double sum = 0.0;
+            for (double x : v)
+                sum += x;
+            return sum;
+        });
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].name, "big");
+    EXPECT_EQ(entries[1].name, "medium");
+    EXPECT_EQ(entries[2].name, "small");
+    EXPECT_NEAR(entries[0].swing(), 10.0, 1e-12);
+    EXPECT_NEAR(entries[2].swing(), 0.2, 1e-12);
+}
+
+TEST(Tornado, PerturbsOneParameterAtATime)
+{
+    const std::vector<ParameterRange> parameters = {
+        {"a", 2.0, 1.0, 3.0},
+        {"b", 5.0, 0.0, 10.0},
+    };
+    // Model returns b only: a's swing must be zero.
+    const auto entries = tornado(
+        parameters,
+        [](const std::vector<double> &v) { return v[1]; });
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "b");
+    EXPECT_DOUBLE_EQ(entries[1].swing(), 0.0);
+    // While b is perturbed, a stayed at baseline (output = b bound).
+    EXPECT_DOUBLE_EQ(entries[0].output_low, 0.0);
+    EXPECT_DOUBLE_EQ(entries[0].output_high, 10.0);
+}
+
+TEST(Tornado, EmptyParameterListIsFatal)
+{
+    EXPECT_EXIT(tornado({}, [](const std::vector<double> &) {
+                    return 0.0;
+                }),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Tornado, CpaSensitivityIdentifiesDominantInputs)
+{
+    // CPA at 7 nm: (CI_fab * EPA + GPA + MPA) / Y over Table 1 ranges.
+    const std::vector<ParameterRange> parameters = {
+        {"CI_fab (g/kWh)", 447.5, 41.0, 583.0},
+        {"EPA (kWh/cm2)", 1.52, 1.52 * 0.8, 1.52 * 1.2},
+        {"GPA (g/cm2)", 275.0, 200.0, 350.0},
+        {"MPA (g/cm2)", 500.0, 400.0, 600.0},
+        {"yield", 0.875, 0.6, 0.95},
+    };
+    const auto entries =
+        tornado(parameters, [](const std::vector<double> &v) {
+            return (v[0] * v[1] + v[2] + v[3]) / v[4];
+        });
+    // The fab's energy source spans coal-free to Taiwan grid -- by far
+    // the largest swing, matching Fig. 6's bands.
+    EXPECT_EQ(entries[0].name, "CI_fab (g/kWh)");
+    for (const auto &entry : entries) {
+        EXPECT_GT(entry.output_low, 0.0);
+        EXPECT_GT(entry.output_high, 0.0);
+    }
+}
+
+} // namespace
+} // namespace act::dse

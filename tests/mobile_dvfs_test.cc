@@ -1,0 +1,140 @@
+/** @file Tests for the DVFS-under-carbon-metrics extension. */
+
+#include <gtest/gtest.h>
+
+#include "mobile/dvfs.h"
+
+namespace act::mobile {
+namespace {
+
+const util::Duration kTask = util::milliseconds(100.0);
+
+TEST(Dvfs, VoltageScalesLinearlyWithFrequency)
+{
+    DvfsParams params;
+    EXPECT_DOUBLE_EQ(dvfsVoltage(params, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(dvfsVoltage(params, 0.5),
+                     params.v_min_fraction +
+                         (1.0 - params.v_min_fraction) * 0.5);
+    EXPECT_EXIT(dvfsVoltage(params, 0.0), ::testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(dvfsVoltage(params, 1.1), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Dvfs, NominalEnergyMatchesPowerTimesTime)
+{
+    DvfsParams params;
+    // At f = 1: E = P_nom * t_nom exactly.
+    EXPECT_NEAR(util::asJoules(taskEnergy(params, 1.0, kTask)),
+                util::asWatts(params.nominal_power) *
+                    util::asSeconds(kTask),
+                1e-9);
+}
+
+TEST(Dvfs, EnergyCurveIsUShaped)
+{
+    DvfsParams params;
+    const double f_star = energyOptimalFrequency(params, kTask);
+    EXPECT_GT(f_star, 0.2);
+    EXPECT_LT(f_star, 0.95);
+    // Energy rises on both sides of the optimum.
+    const double e_star =
+        util::asJoules(taskEnergy(params, f_star, kTask));
+    EXPECT_GT(util::asJoules(taskEnergy(params, 0.1, kTask)), e_star);
+    EXPECT_GT(util::asJoules(taskEnergy(params, 1.0, kTask)), e_star);
+}
+
+TEST(Dvfs, NoLeakageMeansSlowerIsAlwaysGreener)
+{
+    DvfsParams params;
+    params.leakage_fraction = 0.0;
+    // Without leakage, energy decreases monotonically with f, so the
+    // energy optimum hits the search floor.
+    EXPECT_LT(energyOptimalFrequency(params, kTask), 0.06);
+}
+
+TEST(Dvfs, CarbonOptimumAtOrAboveEnergyOptimum)
+{
+    // Charging embodied carbon for occupancy time always pushes
+    // towards higher frequency.
+    DvfsParams params;
+    for (double ci : {820.0, 300.0, 100.0, 41.0}) {
+        const auto use = core::OperationalParams::withIntensity(
+            util::gramsPerKilowattHour(ci));
+        EXPECT_GE(carbonOptimalFrequency(params, kTask, use),
+                  energyOptimalFrequency(params, kTask) - 1e-6)
+            << ci;
+    }
+}
+
+TEST(Dvfs, GreenerGridsFavorRaceToIdle)
+{
+    DvfsParams params;
+    double prev = 0.0;
+    for (double ci : {820.0, 300.0, 41.0, 1.0}) {
+        const auto use = core::OperationalParams::withIntensity(
+            util::gramsPerKilowattHour(ci));
+        const double f_star =
+            carbonOptimalFrequency(params, kTask, use);
+        EXPECT_GE(f_star, prev - 1e-6) << ci;
+        prev = f_star;
+    }
+    // On a carbon-free grid only embodied occupancy matters: run flat
+    // out.
+    const auto free_use = core::OperationalParams::withIntensity(
+        util::gramsPerKilowattHour(0.0));
+    EXPECT_NEAR(carbonOptimalFrequency(params, kTask, free_use), 1.0,
+                1e-3);
+}
+
+TEST(Dvfs, SweepIsConsistentWithPointEvaluation)
+{
+    DvfsParams params;
+    const core::OperationalParams use;
+    const auto sweep = dvfsSweep(params, kTask, use, 0.25, 16);
+    ASSERT_EQ(sweep.size(), 16u);
+    EXPECT_DOUBLE_EQ(sweep.front().frequency, 0.25);
+    EXPECT_DOUBLE_EQ(sweep.back().frequency, 1.0);
+    for (const auto &point : sweep) {
+        const auto reference =
+            evaluateFrequency(params, point.frequency, kTask, use);
+        EXPECT_DOUBLE_EQ(util::asJoules(point.energy),
+                         util::asJoules(reference.energy));
+        EXPECT_NEAR(util::asSeconds(point.latency),
+                    util::asSeconds(kTask) / point.frequency, 1e-12);
+    }
+}
+
+TEST(Dvfs, FootprintCombinesOperationalAndOccupancy)
+{
+    DvfsParams params;
+    const core::OperationalParams use;
+    const auto point = evaluateFrequency(params, 0.5, kTask, use);
+    // Embodied allocation = ECF * (t / LT).
+    const double expected_embodied =
+        util::asGrams(params.device_embodied) *
+        util::asSeconds(point.latency) /
+        util::asSeconds(params.device_lifetime);
+    EXPECT_NEAR(util::asGrams(point.footprint.embodied_allocated),
+                expected_embodied, 1e-12);
+}
+
+TEST(Dvfs, InvalidParamsAreFatal)
+{
+    DvfsParams params;
+    params.leakage_fraction = 1.0;
+    EXPECT_EXIT(taskEnergy(params, 0.5, kTask),
+                ::testing::ExitedWithCode(1), "");
+    params = DvfsParams{};
+    params.v_min_fraction = 0.0;
+    EXPECT_EXIT(taskEnergy(params, 0.5, kTask),
+                ::testing::ExitedWithCode(1), "");
+    params = DvfsParams{};
+    const core::OperationalParams use;
+    EXPECT_EXIT(dvfsSweep(params, kTask, use, 0.5, 1),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::mobile

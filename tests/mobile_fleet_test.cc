@@ -1,0 +1,118 @@
+/** @file Integration tests for the Fig. 14 lifetime-extension study. */
+
+#include <gtest/gtest.h>
+
+#include "mobile/fleet.h"
+
+namespace act::mobile {
+namespace {
+
+const core::FabParams kFab;
+
+TEST(Figure14, AnnualEfficiencyImprovementIs21Percent)
+{
+    // Fig. 14 (left): 1.21x mean annual energy-efficiency improvement.
+    EXPECT_NEAR(annualEfficiencyImprovement(), 1.21, 0.02);
+}
+
+TEST(Figure14, EveryFamilyImprovesYearOverYear)
+{
+    for (data::SocFamily family : {data::SocFamily::Exynos,
+                                   data::SocFamily::Snapdragon,
+                                   data::SocFamily::Kirin}) {
+        EXPECT_GT(familyEfficiencyGrowth(family), 1.0);
+        EXPECT_LT(familyEfficiencyGrowth(family), 1.5);
+    }
+}
+
+TEST(Figure14, OptimalLifetimeIsAboutFiveYears)
+{
+    const FleetParams params = defaultFleetParams(kFab);
+    const auto sweep = lifetimeSweep(params);
+    ASSERT_EQ(sweep.size(), 10u);
+    EXPECT_DOUBLE_EQ(sweep[optimalLifetimeIndex(sweep)].lifetime_years,
+                     5.0);
+}
+
+TEST(Figure14, ImprovementOverCurrentLifetimes)
+{
+    // "Compared to current lifetimes of 2-3 years ... reduce overall
+    // carbon footprint by up to 1.26x."
+    const FleetParams params = defaultFleetParams(kFab);
+    const auto sweep = lifetimeSweep(params);
+    const double at2 = util::asKilograms(sweep[1].total());
+    const double at3 = util::asKilograms(sweep[2].total());
+    const double best = util::asKilograms(
+        sweep[optimalLifetimeIndex(sweep)].total());
+    const double improvement = std::sqrt(at2 * at3) / best;
+    EXPECT_GT(improvement, 1.15);
+    EXPECT_LT(improvement, 1.35);
+}
+
+TEST(Figure14, EmbodiedFallsOperationalRisesWithLifetime)
+{
+    const FleetParams params = defaultFleetParams(kFab);
+    const auto sweep = lifetimeSweep(params);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_LT(util::asGrams(sweep[i].embodied),
+                  util::asGrams(sweep[i - 1].embodied));
+        EXPECT_GT(util::asGrams(sweep[i].operational),
+                  util::asGrams(sweep[i - 1].operational));
+    }
+}
+
+TEST(Figure14, FractionalLifetimesInterpolate)
+{
+    const FleetParams params = defaultFleetParams(kFab);
+    const double at2 =
+        util::asGrams(evaluateLifetime(params, 2.0).total());
+    const double at25 =
+        util::asGrams(evaluateLifetime(params, 2.5).total());
+    const double at3 =
+        util::asGrams(evaluateLifetime(params, 3.0).total());
+    EXPECT_LT(at25, at2);
+    EXPECT_GT(at25, at3);
+}
+
+TEST(Figure14, ParameterValidation)
+{
+    const FleetParams params = defaultFleetParams(kFab);
+    EXPECT_EXIT(evaluateLifetime(params, 0.0),
+                ::testing::ExitedWithCode(1), "");
+    FleetParams no_growth = params;
+    no_growth.annual_efficiency_improvement = 1.0;
+    EXPECT_EXIT(evaluateLifetime(no_growth, 2.0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(optimalLifetimeIndex({}), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Figure14, GreenFabShiftsOptimumTowardsShorterLives)
+{
+    // With near-zero embodied cost, replacing hardware often becomes
+    // cheap, so the optimal lifetime can only shrink.
+    FleetParams green = defaultFleetParams(kFab);
+    green.embodied_per_device = util::grams(50.0);
+    const auto sweep = lifetimeSweep(green);
+    const FleetParams base = defaultFleetParams(kFab);
+    const auto base_sweep = lifetimeSweep(base);
+    EXPECT_LE(sweep[optimalLifetimeIndex(sweep)].lifetime_years,
+              base_sweep[optimalLifetimeIndex(base_sweep)]
+                  .lifetime_years);
+}
+
+TEST(Figure14, HigherEmbodiedFavorsLongerLives)
+{
+    FleetParams heavy = defaultFleetParams(kFab);
+    heavy.embodied_per_device = heavy.embodied_per_device * 4.0;
+    const auto heavy_sweep = lifetimeSweep(heavy);
+    const FleetParams base = defaultFleetParams(kFab);
+    const auto base_sweep = lifetimeSweep(base);
+    EXPECT_GE(heavy_sweep[optimalLifetimeIndex(heavy_sweep)]
+                  .lifetime_years,
+              base_sweep[optimalLifetimeIndex(base_sweep)]
+                  .lifetime_years);
+}
+
+} // namespace
+} // namespace act::mobile

@@ -1,0 +1,116 @@
+/** @file Integration tests for the Fig. 8 mobile design-space study. */
+
+#include <gtest/gtest.h>
+
+#include "dse/scoreboard.h"
+#include "mobile/platform.h"
+
+namespace act::mobile {
+namespace {
+
+const core::FabParams kFab;
+
+TEST(Figure8, DesignSpaceCoversAllChipsets)
+{
+    EXPECT_EQ(mobileDesignSpace(kFab).size(), 13u);
+}
+
+TEST(Figure8, PaperOptimaPerMetric)
+{
+    // Section 4.2: "The optimal hardware in terms of EDP, EDAP,
+    // embodied carbon, CEP, and C2EP are the Kirin 990, Snapdragon
+    // 865, Snapdragon 835, Kirin 980, and Kirin 980, respectively."
+    const dse::Scoreboard scoreboard(mobileDesignSpace(kFab));
+    EXPECT_EQ(scoreboard.winner(core::Metric::EDP), "Kirin 990");
+    EXPECT_EQ(scoreboard.winner(core::Metric::EDAP), "Snapdragon 865");
+    EXPECT_EQ(scoreboard.winner(core::Metric::CEP), "Kirin 980");
+    EXPECT_EQ(scoreboard.winner(core::Metric::C2EP), "Kirin 980");
+}
+
+TEST(Figure8, EmbodiedMinimumIsSnapdragon835)
+{
+    const auto space = mobileDesignSpace(kFab);
+    const core::DesignPoint *best = &space.front();
+    for (const auto &point : space) {
+        if (point.embodied < best->embodied)
+            best = &point;
+    }
+    EXPECT_EQ(best->name, "Snapdragon 835");
+}
+
+TEST(Figure8, EnergyAndCarbonOptimaDiffer)
+{
+    // The core message of Section 4: carbon-aware metrics pick
+    // different hardware than energy-centric ones.
+    const dse::Scoreboard scoreboard(mobileDesignSpace(kFab));
+    EXPECT_NE(scoreboard.winner(core::Metric::EDP),
+              scoreboard.winner(core::Metric::C2EP));
+    EXPECT_NE(scoreboard.winner(core::Metric::EDAP),
+              scoreboard.winner(core::Metric::CEP));
+}
+
+TEST(Platform, EmbodiedBreakdownComposition)
+{
+    const auto soc =
+        data::SocDatabase::instance().byNameOrDie("Snapdragon 845");
+    const PlatformEmbodied embodied = platformEmbodied(soc, kFab);
+    EXPECT_GT(util::asGrams(embodied.soc), 0.0);
+    EXPECT_GT(util::asGrams(embodied.dram), 0.0);
+    EXPECT_DOUBLE_EQ(util::asGrams(embodied.packaging), 300.0);
+    EXPECT_NEAR(util::asGrams(embodied.total()),
+                util::asGrams(embodied.soc) +
+                    util::asGrams(embodied.dram) + 300.0,
+                1e-9);
+    // DRAM: 6 GB of LPDDR4 at 48 g/GB.
+    EXPECT_DOUBLE_EQ(util::asGrams(embodied.dram), 288.0);
+}
+
+TEST(Platform, ReferenceDelayInvertsScore)
+{
+    const auto soc =
+        data::SocDatabase::instance().byNameOrDie("Kirin 990");
+    EXPECT_NEAR(util::asSeconds(referenceDelay(soc)),
+                kReferenceScoreSeconds / soc.aggregateScore(), 1e-12);
+    EXPECT_NEAR(util::asJoules(referenceEnergy(soc)),
+                util::asWatts(soc.tdp) *
+                    util::asSeconds(referenceDelay(soc)),
+                1e-9);
+}
+
+TEST(Platform, GreenerFabLowersEveryPlatform)
+{
+    const auto base = mobileDesignSpace(kFab);
+    const auto green = mobileDesignSpace(core::FabParams::renewable());
+    ASSERT_EQ(base.size(), green.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_LT(util::asGrams(green[i].embodied),
+                  util::asGrams(base[i].embodied))
+            << base[i].name;
+        // Delay/energy are fab-independent.
+        EXPECT_DOUBLE_EQ(util::asSeconds(green[i].delay),
+                         util::asSeconds(base[i].delay));
+    }
+}
+
+/** Property: faster chipsets have strictly smaller delay points. */
+class PlatformOrdering
+    : public ::testing::TestWithParam<data::SocFamily> {};
+
+TEST_P(PlatformOrdering, DelayOrderFollowsPerformance)
+{
+    const auto chipsets =
+        data::SocDatabase::instance().familyByYear(GetParam());
+    for (std::size_t i = 1; i < chipsets.size(); ++i) {
+        EXPECT_LT(
+            util::asSeconds(referenceDelay(chipsets[i])),
+            util::asSeconds(referenceDelay(chipsets[i - 1])));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PlatformOrdering,
+                         ::testing::Values(data::SocFamily::Exynos,
+                                           data::SocFamily::Snapdragon,
+                                           data::SocFamily::Kirin));
+
+} // namespace
+} // namespace act::mobile

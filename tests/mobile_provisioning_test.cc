@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Integration tests for the Section 6.1 provisioning study: Table 4,
+ * Fig. 9's metric optima, break-even utilizations, and the Fig. 10
+ * renewable-energy crossovers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/scoreboard.h"
+#include "mobile/provisioning.h"
+
+namespace act::mobile {
+namespace {
+
+const core::FabParams kFab;
+const core::OperationalParams kUse;  // 300 g/kWh US average
+
+const ComputeBlock &
+blockNamed(std::string_view name)
+{
+    for (const auto &block : snapdragon845Blocks()) {
+        if (block.name == name)
+            return block;
+    }
+    throw std::runtime_error("missing block");
+}
+
+TEST(Table4, LatencyAndPower)
+{
+    const auto results = provisioningTable(kFab, kUse);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].name, "CPU");
+    EXPECT_NEAR(util::asMilliseconds(results[0].latency), 6.0, 1e-9);
+    EXPECT_NEAR(util::asWatts(results[0].power), 6.6, 1e-9);
+    EXPECT_EQ(results[1].name, "GPU");
+    EXPECT_NEAR(util::asMilliseconds(results[1].latency), 12.1, 1e-9);
+    EXPECT_NEAR(util::asWatts(results[1].power), 2.9, 1e-9);
+    EXPECT_EQ(results[2].name, "DSP");
+    EXPECT_NEAR(util::asMilliseconds(results[2].latency), 9.2, 1e-9);
+    EXPECT_NEAR(util::asWatts(results[2].power), 2.0, 1e-9);
+}
+
+TEST(Table4, OperationalFootprints)
+{
+    // 3.3 / 2.9 / 1.5 ug CO2 per inference (GPU/DSP labels corrected).
+    const auto results = provisioningTable(kFab, kUse);
+    EXPECT_NEAR(util::asMicrograms(results[0].opcf_per_inference), 3.3,
+                0.05);
+    EXPECT_NEAR(util::asMicrograms(results[1].opcf_per_inference), 2.9,
+                0.05);
+    EXPECT_NEAR(util::asMicrograms(results[2].opcf_per_inference), 1.5,
+                0.05);
+}
+
+TEST(Table4, EmbodiedFootprints)
+{
+    // CPU 253 g; co-processors add 205 g (GPU) and 189 g (DSP) on top
+    // of the host CPU.
+    const auto results = provisioningTable(kFab, kUse);
+    EXPECT_NEAR(util::asGrams(results[0].ecf_total), 253.0, 0.5);
+    EXPECT_NEAR(util::asGrams(results[1].ecf_block), 205.0, 0.5);
+    EXPECT_NEAR(util::asGrams(results[1].ecf_total), 458.0, 1.0);
+    EXPECT_NEAR(util::asGrams(results[2].ecf_block), 189.0, 0.5);
+    EXPECT_NEAR(util::asGrams(results[2].ecf_total), 442.0, 1.0);
+}
+
+TEST(Section61, DspEnergyAdvantage)
+{
+    // Prose: "the DSP achieves 2.2x lower energy per inference than
+    // the CPU" (and the GPU ~1.1x).
+    const auto results = provisioningTable(kFab, kUse);
+    EXPECT_NEAR(results[0].energy / results[2].energy, 2.2, 0.05);
+    EXPECT_NEAR(results[0].energy / results[1].energy, 1.13, 0.05);
+}
+
+TEST(Section61, EmbodiedOverheadRatios)
+{
+    // Co-processors increase the embodied footprint by ~1.8x.
+    const auto results = provisioningTable(kFab, kUse);
+    EXPECT_NEAR(util::asGrams(results[1].ecf_total) /
+                    util::asGrams(results[0].ecf_total),
+                1.81, 0.05);
+    EXPECT_NEAR(util::asGrams(results[2].ecf_total) /
+                    util::asGrams(results[0].ecf_total),
+                1.75, 0.05);
+}
+
+TEST(Figure9, MetricOptima)
+{
+    // CPU optimal for embodied-centric CDP/C2EP; DSP optimal for
+    // operational-centric CEP/CE2P.
+    const dse::Scoreboard scoreboard(
+        provisioningDesignSpace(kFab, kUse));
+    EXPECT_EQ(scoreboard.winner(core::Metric::CDP), "CPU");
+    EXPECT_EQ(scoreboard.winner(core::Metric::C2EP), "CPU");
+    EXPECT_EQ(scoreboard.winner(core::Metric::CEP), "DSP");
+    EXPECT_EQ(scoreboard.winner(core::Metric::CE2P), "DSP");
+}
+
+TEST(Section61, BreakEvenUtilizations)
+{
+    // Paper: offsetting the extra embodied footprint requires >5%
+    // (GPU) and >1% (DSP) average lifetime utilization.
+    const auto lifetime = util::years(3.0);
+    const auto gpu = breakEvenUtilization(blockNamed("GPU"),
+                                          blockNamed("CPU"), kFab, kUse,
+                                          lifetime);
+    const auto dsp = breakEvenUtilization(blockNamed("DSP"),
+                                          blockNamed("CPU"), kFab, kUse,
+                                          lifetime);
+    ASSERT_TRUE(gpu.has_value());
+    ASSERT_TRUE(dsp.has_value());
+    EXPECT_NEAR(*dsp, 0.0104, 0.002);
+    EXPECT_GT(*gpu, 0.05);
+    EXPECT_LT(*gpu, 0.10);
+}
+
+TEST(Section61, BreakEvenScalesWithRenewableUse)
+{
+    // "These reuse frequencies linearly increase in the presence of
+    // renewable energy during operation."
+    const auto lifetime = util::years(3.0);
+    const auto solar = core::OperationalParams::forSource(
+        data::EnergySource::Solar);
+    const auto us = breakEvenUtilization(blockNamed("DSP"),
+                                         blockNamed("CPU"), kFab, kUse,
+                                         lifetime);
+    const auto green = breakEvenUtilization(blockNamed("DSP"),
+                                            blockNamed("CPU"), kFab,
+                                            solar, lifetime);
+    ASSERT_TRUE(us.has_value() && green.has_value());
+    EXPECT_NEAR(*green / *us, 300.0 / 41.0, 1e-6);
+}
+
+TEST(Section61, BreakEvenRequiresCoprocessor)
+{
+    EXPECT_EXIT(breakEvenUtilization(blockNamed("CPU"),
+                                     blockNamed("CPU"), kFab, kUse,
+                                     util::years(3.0)),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Figure10, RenewableOperationFavorsCpu)
+{
+    // Top panel: moving use-phase energy from coal to carbon-free
+    // flips the optimum from DSP to CPU, a ~1.8x reduction at the
+    // carbon-free end. The workload (inference count over the device
+    // lifetime) is fixed across substrates.
+    const auto lifetime = util::years(3.0);
+
+    const auto evaluate = [&](data::EnergySource source) {
+        const auto use = core::OperationalParams::forSource(source);
+        const auto results = provisioningTable(kFab, use);
+        const double inferences =
+            inferencesAtUtilization(results[0], 0.05, lifetime);
+        const double cpu = util::asGrams(
+            perInferenceFootprint(results[0], inferences, use).total());
+        const double dsp = util::asGrams(
+            perInferenceFootprint(results[2], inferences, use).total());
+        return std::make_pair(cpu, dsp);
+    };
+
+    const auto [cpu_coal, dsp_coal] = evaluate(data::EnergySource::Coal);
+    EXPECT_LT(dsp_coal, cpu_coal);  // coal: efficiency wins
+
+    const auto [cpu_free, dsp_free] =
+        evaluate(data::EnergySource::CarbonFree);
+    EXPECT_LT(cpu_free, dsp_free);  // carbon-free: embodied wins
+    EXPECT_NEAR(dsp_free / cpu_free, 1.8, 0.1);
+}
+
+TEST(Figure10, GreenFabFavorsSpecialization)
+{
+    // Bottom panel: with renewable use-phase energy, cutting the fab
+    // carbon intensity from coal to carbon-free flips CPU -> DSP.
+    const auto lifetime = util::years(3.0);
+    const auto use =
+        core::OperationalParams::forSource(data::EnergySource::Solar);
+
+    const auto evaluate = [&](util::CarbonIntensity ci_fab) {
+        const auto fab = core::FabParams::withIntensity(ci_fab);
+        const auto results = provisioningTable(fab, use);
+        const double inferences =
+            inferencesAtUtilization(results[0], 0.05, lifetime);
+        const double cpu = util::asGrams(
+            perInferenceFootprint(results[0], inferences, use).total());
+        const double dsp = util::asGrams(
+            perInferenceFootprint(results[2], inferences, use).total());
+        return std::make_pair(cpu, dsp);
+    };
+
+    const auto [cpu_coal, dsp_coal] = evaluate(
+        data::sourceIntensity(data::EnergySource::Coal));
+    EXPECT_LT(cpu_coal, dsp_coal);  // dirty fab: lean CPU wins
+
+    const auto [cpu_free, dsp_free] = evaluate(
+        data::sourceIntensity(data::EnergySource::CarbonFree));
+    EXPECT_LT(dsp_free, cpu_free);  // green fab: efficient DSP wins
+}
+
+TEST(PerInference, ArgumentBoundsChecked)
+{
+    const auto results = provisioningTable(kFab, kUse);
+    EXPECT_EXIT(perInferenceFootprint(results[0], 0.0, kUse),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(
+        inferencesAtUtilization(results[0], 0.0, util::years(3.0)),
+        ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(
+        inferencesAtUtilization(results[0], 1.5, util::years(3.0)),
+        ::testing::ExitedWithCode(1), "");
+}
+
+TEST(PerInference, EmbodiedShareFallsWithUtilization)
+{
+    // Higher reuse amortizes embodied carbon over more inferences.
+    const auto results = provisioningTable(kFab, kUse);
+    const auto lifetime = util::years(3.0);
+    const auto low = perInferenceFootprint(
+        results[2], inferencesAtUtilization(results[2], 0.01, lifetime),
+        kUse);
+    const auto high = perInferenceFootprint(
+        results[2], inferencesAtUtilization(results[2], 0.5, lifetime),
+        kUse);
+    EXPECT_GT(util::asGrams(low.embodied_allocated),
+              util::asGrams(high.embodied_allocated));
+    EXPECT_DOUBLE_EQ(util::asGrams(low.operational),
+                     util::asGrams(high.operational));
+}
+
+} // namespace
+} // namespace act::mobile

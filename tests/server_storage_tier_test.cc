@@ -1,0 +1,148 @@
+/** @file Tests for the HDD-vs-SSD storage-tier trade-off study. */
+
+#include <gtest/gtest.h>
+
+#include "server/storage_tier.h"
+
+namespace act::server {
+namespace {
+
+const core::OperationalParams kUse;
+const util::Duration kLife = util::years(5.0);
+
+StorageDemand
+coldDemand()
+{
+    StorageDemand demand;
+    demand.capacity = util::terabytes(100.0);
+    demand.throughput_mbps = 0.0;
+    demand.duty = 0.3;
+    return demand;
+}
+
+TEST(StorageTiers, ReferenceTiersAreSane)
+{
+    const StorageTier hdd = enterpriseHddTier();
+    const StorageTier ssd = datacenterSsdTier();
+    // Fig. 7: flash carries several times the embodied carbon per GB.
+    EXPECT_GT(ssd.cps.value(), 3.0 * hdd.cps.value());
+    // Flash serves over an order of magnitude more MB/s per TB.
+    EXPECT_GT(ssd.throughput_mbps_per_tb,
+              10.0 * hdd.throughput_mbps_per_tb);
+}
+
+TEST(StorageTiers, CapacityProvisioningIsDemandDriven)
+{
+    const StorageTier hdd = enterpriseHddTier();
+    StorageDemand demand = coldDemand();
+    // No throughput: provision exactly the data size.
+    EXPECT_DOUBLE_EQ(
+        util::asGigabytes(provisionedCapacity(hdd, demand)), 100'000.0);
+    // High throughput: spindles dominate the provisioning.
+    demand.throughput_mbps = 10'000.0;
+    EXPECT_GT(util::asGigabytes(provisionedCapacity(hdd, demand)),
+              100'000.0);
+    // The SSD tier still fits in the data-size provisioning.
+    EXPECT_DOUBLE_EQ(util::asGigabytes(provisionedCapacity(
+                         datacenterSsdTier(), demand)),
+                     100'000.0);
+}
+
+TEST(StorageTiers, HddWinsColdStorage)
+{
+    const auto hdd =
+        tierFootprint(enterpriseHddTier(), coldDemand(), kLife, kUse);
+    const auto ssd =
+        tierFootprint(datacenterSsdTier(), coldDemand(), kLife, kUse);
+    EXPECT_LT(util::asGrams(hdd.total()), util::asGrams(ssd.total()));
+}
+
+TEST(StorageTiers, SsdWinsThroughputHeavyTiers)
+{
+    StorageDemand demand = coldDemand();
+    demand.throughput_mbps = 50'000.0;  // hot serving tier
+    const auto hdd =
+        tierFootprint(enterpriseHddTier(), demand, kLife, kUse);
+    const auto ssd =
+        tierFootprint(datacenterSsdTier(), demand, kLife, kUse);
+    EXPECT_LT(util::asGrams(ssd.total()), util::asGrams(hdd.total()));
+}
+
+TEST(StorageTiers, CrossoverIsBracketedAndConsistent)
+{
+    const auto crossover = throughputCrossover(
+        enterpriseHddTier(), datacenterSsdTier(), coldDemand(), kLife,
+        kUse);
+    ASSERT_TRUE(crossover.has_value());
+    EXPECT_GT(*crossover, 0.0);
+    EXPECT_LT(*crossover, 50'000.0);
+
+    // Just below the crossover HDD wins; just above, SSD wins.
+    StorageDemand below = coldDemand();
+    below.throughput_mbps = *crossover * 0.95;
+    StorageDemand above = coldDemand();
+    above.throughput_mbps = *crossover * 1.05;
+    EXPECT_LT(util::asGrams(tierFootprint(enterpriseHddTier(), below,
+                                          kLife, kUse)
+                                .total()),
+              util::asGrams(tierFootprint(datacenterSsdTier(), below,
+                                          kLife, kUse)
+                                .total()));
+    EXPECT_GT(util::asGrams(tierFootprint(enterpriseHddTier(), above,
+                                          kLife, kUse)
+                                .total()),
+              util::asGrams(tierFootprint(datacenterSsdTier(), above,
+                                          kLife, kUse)
+                                .total()));
+}
+
+TEST(StorageTiers, CrossoverDegenerateCases)
+{
+    // Challenger already ahead at zero throughput -> crossover at 0.
+    const auto reversed = throughputCrossover(
+        datacenterSsdTier(), enterpriseHddTier(), coldDemand(), kLife,
+        kUse);
+    ASSERT_TRUE(reversed.has_value());
+    EXPECT_DOUBLE_EQ(*reversed, 0.0);
+
+    // Challenger never catches up within the search bound.
+    const auto never = throughputCrossover(
+        enterpriseHddTier(), datacenterSsdTier(), coldDemand(), kLife,
+        kUse, 1.0);
+    EXPECT_FALSE(never.has_value());
+}
+
+TEST(StorageTiers, GreenGridFavorsTheEmbodiedCheapTier)
+{
+    // On a carbon-free grid only embodied matters, so the HDD's
+    // crossover moves to higher throughputs.
+    const auto us = throughputCrossover(
+        enterpriseHddTier(), datacenterSsdTier(), coldDemand(), kLife,
+        kUse);
+    const auto free_grid = throughputCrossover(
+        enterpriseHddTier(), datacenterSsdTier(), coldDemand(), kLife,
+        core::OperationalParams::forSource(
+            data::EnergySource::CarbonFree));
+    ASSERT_TRUE(us.has_value());
+    ASSERT_TRUE(free_grid.has_value());
+    EXPECT_GT(*free_grid, *us);
+}
+
+TEST(StorageTiers, InvalidDemandsAreFatal)
+{
+    StorageDemand demand = coldDemand();
+    demand.capacity = util::gigabytes(0.0);
+    EXPECT_EXIT(provisionedCapacity(enterpriseHddTier(), demand),
+                ::testing::ExitedWithCode(1), "");
+    demand = coldDemand();
+    demand.throughput_mbps = -1.0;
+    EXPECT_EXIT(provisionedCapacity(enterpriseHddTier(), demand),
+                ::testing::ExitedWithCode(1), "");
+    demand = coldDemand();
+    demand.duty = 1.5;
+    EXPECT_EXIT(tierFootprint(enterpriseHddTier(), demand, kLife, kUse),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::server

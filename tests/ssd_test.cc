@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the SSD reliability substrate: analytical write
+ * amplification, the trace-driven FTL simulator that validates it, and
+ * the Fig. 15 over-provisioning study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ftl_sim.h"
+#include "ssd/lifetime.h"
+#include "ssd/wa_model.h"
+
+namespace act::ssd {
+namespace {
+
+TEST(WaModel, KnownValues)
+{
+    EXPECT_NEAR(analyticalWriteAmplification(0.04), 13.0, 1e-9);
+    EXPECT_NEAR(analyticalWriteAmplification(0.16), 3.625, 1e-9);
+    EXPECT_NEAR(analyticalWriteAmplification(0.34), 1.9706, 1e-3);
+    // Enormous spare area drives WA to its floor of 1.
+    EXPECT_DOUBLE_EQ(analyticalWriteAmplification(10.0), 1.0);
+}
+
+TEST(WaModel, MonotonicallyDecreasingInOverProvision)
+{
+    double prev = analyticalWriteAmplification(0.02);
+    for (double op = 0.04; op <= 0.6; op += 0.02) {
+        const double wa = analyticalWriteAmplification(op);
+        EXPECT_LT(wa, prev);
+        EXPECT_GE(wa, 1.0);
+        prev = wa;
+    }
+}
+
+TEST(WaModel, NonPositiveFactorIsFatal)
+{
+    EXPECT_EXIT(analyticalWriteAmplification(0.0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(analyticalWriteAmplification(-0.1),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(FtlSim, ConservesLogicalSpace)
+{
+    FtlConfig config;
+    config.num_blocks = 128;
+    config.pages_per_block = 32;
+    config.over_provision = 0.25;
+    config.user_writes = 100'000;
+    FtlSimulator sim(config);
+    // logical * (1 + op) == physical.
+    EXPECT_EQ(sim.logicalPageCount(),
+              static_cast<std::uint64_t>(128 * 32 / 1.25));
+    const FtlStats stats = sim.run();
+    EXPECT_EQ(stats.user_pages_written, config.user_writes);
+    EXPECT_GE(stats.physical_pages_written, stats.user_pages_written);
+    EXPECT_GT(stats.gc_invocations, 0u);
+    EXPECT_GT(stats.erases, 0u);
+}
+
+TEST(FtlSim, DeterministicForFixedSeed)
+{
+    FtlConfig config;
+    config.num_blocks = 64;
+    config.pages_per_block = 16;
+    config.user_writes = 50'000;
+    const FtlStats a = FtlSimulator(config).run();
+    const FtlStats b = FtlSimulator(config).run();
+    EXPECT_EQ(a.physical_pages_written, b.physical_pages_written);
+    EXPECT_EQ(a.erases, b.erases);
+}
+
+TEST(FtlSim, BadConfigsAreFatal)
+{
+    FtlConfig config;
+    config.over_provision = 0.0;
+    EXPECT_EXIT(FtlSimulator{config}, ::testing::ExitedWithCode(1), "");
+    config.over_provision = 1.2;
+    EXPECT_EXIT(FtlSimulator{config}, ::testing::ExitedWithCode(1), "");
+    config = FtlConfig{};
+    config.num_blocks = 4;
+    EXPECT_EXIT(FtlSimulator{config}, ::testing::ExitedWithCode(1), "");
+}
+
+/**
+ * The headline validation: measured WA from the trace-driven FTL
+ * tracks the analytical greedy-GC model across over-provisioning
+ * levels (the analytical curve is a steady-state approximation, so a
+ * generous-but-bounded divergence is allowed).
+ */
+class FtlVsAnalytical : public ::testing::TestWithParam<double> {};
+
+TEST_P(FtlVsAnalytical, MeasuredWaTracksModel)
+{
+    const double op = GetParam();
+    FtlConfig config;
+    config.num_blocks = 256;
+    config.pages_per_block = 32;
+    config.over_provision = op;
+    config.user_writes = 400'000;
+    const FtlStats stats = FtlSimulator(config).run();
+    const double measured = stats.writeAmplification();
+    const double predicted = analyticalWriteAmplification(op);
+    EXPECT_GT(measured, 1.0);
+    // Within 35% of the analytical approximation.
+    EXPECT_NEAR(measured / predicted, 1.0, 0.35) << "op=" << op;
+}
+
+INSTANTIATE_TEST_SUITE_P(OverProvisionSweep, FtlVsAnalytical,
+                         ::testing::Values(0.08, 0.16, 0.25, 0.34,
+                                           0.45));
+
+TEST(FtlSim, MoreSpareAreaLowersMeasuredWa)
+{
+    FtlConfig config;
+    config.num_blocks = 256;
+    config.pages_per_block = 32;
+    config.user_writes = 300'000;
+
+    config.over_provision = 0.08;
+    const double tight = FtlSimulator(config).run().writeAmplification();
+    config.over_provision = 0.40;
+    const double roomy = FtlSimulator(config).run().writeAmplification();
+    EXPECT_GT(tight, roomy);
+}
+
+TEST(FtlSim, SkewedWorkloadRaisesWa)
+{
+    // Hot/cold skew without stream separation mixes short- and
+    // long-lived pages in every block, increasing relocations over a
+    // uniform workload at the same over-provisioning.
+    FtlConfig config;
+    config.num_blocks = 256;
+    config.pages_per_block = 32;
+    config.over_provision = 0.16;
+    config.user_writes = 300'000;
+
+    const double uniform =
+        FtlSimulator(config).run().writeAmplification();
+    config.pattern = WritePattern::HotCold;
+    const double skewed =
+        FtlSimulator(config).run().writeAmplification();
+    // Greedy GC already exploits some skew (hot blocks invalidate
+    // fast); the interesting comparison is against separation below.
+    EXPECT_GT(skewed, 1.0);
+    EXPECT_GT(uniform, 1.0);
+}
+
+TEST(FtlSim, HotColdSeparationReducesWa)
+{
+    FtlConfig config;
+    config.num_blocks = 256;
+    config.pages_per_block = 32;
+    config.over_provision = 0.16;
+    config.user_writes = 300'000;
+    config.pattern = WritePattern::HotCold;
+    config.hot_lba_fraction = 0.1;
+    config.hot_write_fraction = 0.9;
+
+    const double mixed =
+        FtlSimulator(config).run().writeAmplification();
+    config.separate_hot_cold = true;
+    const double separated =
+        FtlSimulator(config).run().writeAmplification();
+    EXPECT_LT(separated, mixed);
+    // Separation is worth a solid margin under 90/10 skew.
+    EXPECT_LT(separated, 0.9 * mixed);
+}
+
+TEST(FtlSim, SeparationIsHarmlessUnderUniformTraffic)
+{
+    FtlConfig config;
+    config.num_blocks = 256;
+    config.pages_per_block = 32;
+    config.over_provision = 0.16;
+    config.user_writes = 200'000;
+    config.pattern = WritePattern::Uniform;
+
+    const double base = FtlSimulator(config).run().writeAmplification();
+    config.separate_hot_cold = true;  // no effect: stream 1 unused
+    const double with_flag =
+        FtlSimulator(config).run().writeAmplification();
+    EXPECT_DOUBLE_EQ(base, with_flag);
+}
+
+TEST(FtlSim, StateIsConsistentAfterRuns)
+{
+    for (bool separated : {false, true}) {
+        FtlConfig config;
+        config.num_blocks = 128;
+        config.pages_per_block = 16;
+        config.over_provision = 0.2;
+        config.user_writes = 100'000;
+        config.pattern = WritePattern::HotCold;
+        config.separate_hot_cold = separated;
+        FtlSimulator sim(config);
+        sim.run();
+        EXPECT_TRUE(sim.checkConsistency()) << separated;
+    }
+}
+
+TEST(FtlSim, BadHotColdParametersAreFatal)
+{
+    FtlConfig config;
+    config.pattern = WritePattern::HotCold;
+    config.hot_lba_fraction = 0.0;
+    EXPECT_EXIT(FtlSimulator{config}, ::testing::ExitedWithCode(1), "");
+    config.hot_lba_fraction = 0.2;
+    config.hot_write_fraction = 1.5;
+    EXPECT_EXIT(FtlSimulator{config}, ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Lifetime, MezaModelValues)
+{
+    // Calibrated per DESIGN.md: ~2 years at PF = 16%, ~4.3 years at
+    // PF = 34% (Fig. 15 top).
+    EXPECT_NEAR(util::asYears(ssdLifetime(0.16)), 2.0, 0.1);
+    EXPECT_NEAR(util::asYears(ssdLifetime(0.34)), 4.3, 0.15);
+    EXPECT_LT(util::asYears(ssdLifetime(0.04)), 1.0);
+}
+
+TEST(Lifetime, ScalesWithReliabilityParameters)
+{
+    ReliabilityParams heavy;
+    heavy.dwpd = 2.6;  // twice the write pressure halves the lifetime
+    EXPECT_NEAR(util::asYears(ssdLifetime(0.16, heavy)),
+                util::asYears(ssdLifetime(0.16)) / 2.0, 1e-9);
+    ReliabilityParams mlc;
+    mlc.pec = 6000.0;  // doubling PEC doubles it
+    EXPECT_NEAR(util::asYears(ssdLifetime(0.16, mlc)),
+                util::asYears(ssdLifetime(0.16)) * 2.0, 1e-9);
+    ReliabilityParams bad;
+    bad.pec = 0.0;
+    EXPECT_EXIT(ssdLifetime(0.16, bad), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Figure15, FirstLifeOptimalAtSixteenPercent)
+{
+    // One ~2-year mobile life needs PF ~ 16%.
+    ProvisioningStudyParams params;
+    params.service_period = util::years(2.0);
+    EXPECT_NEAR(minimumPfForService(params), 0.16, 0.02);
+}
+
+TEST(Figure15, SecondLifeNeedsThirtyFourPercent)
+{
+    // Extending to a 4-year second life needs PF ~ 34%.
+    ProvisioningStudyParams params;
+    params.service_period = util::years(4.0);
+    EXPECT_NEAR(minimumPfForService(params), 0.34, 0.03);
+}
+
+TEST(Figure15, SecondLifeReducesEmbodiedByNearlyTwoX)
+{
+    // One 34%-provisioned drive over 4 years vs two 16%-provisioned
+    // drives over two 2-year lives: ~1.8x reduction.
+    ProvisioningStudyParams first;
+    first.service_period = util::years(2.0);
+    const double pf_first = minimumPfForService(first);
+    ProvisioningStudyParams second;
+    second.service_period = util::years(4.0);
+    const double pf_second = minimumPfForService(second);
+    const double reduction =
+        2.0 * (1.0 + pf_first) / (1.0 + pf_second);
+    EXPECT_NEAR(reduction, 1.8, 0.1);
+}
+
+TEST(Figure15, SweepFindsInteriorOptimum)
+{
+    // With whole-device replacement over a 2-year service period the
+    // effective embodied curve is minimized near the smallest PF whose
+    // lifetime covers the period.
+    ProvisioningStudyParams params;
+    params.whole_devices = true;
+    params.service_period = util::years(2.0);
+    const auto sweep = overProvisionSweep(params);
+    const std::size_t best = optimalOverProvisionIndex(sweep);
+    EXPECT_NEAR(sweep[best].pf, minimumPfForService(params), 0.02);
+    // Beyond the optimum, extra spare only adds carbon.
+    EXPECT_GT(util::asGrams(sweep.back().effective_embodied),
+              util::asGrams(sweep[best].effective_embodied));
+    // Below it, early replacement dominates.
+    EXPECT_GT(util::asGrams(sweep.front().effective_embodied),
+              util::asGrams(sweep[best].effective_embodied));
+}
+
+TEST(Figure15, PointFieldsAreConsistent)
+{
+    ProvisioningStudyParams params;
+    const OverProvisionPoint at16 = evaluateOverProvision(0.16, params);
+    EXPECT_NEAR(at16.write_amplification, 3.625, 1e-9);
+    EXPECT_NEAR(at16.lifetime_years, 2.0, 0.1);
+    // A short-lived drive (PF = 10%) needs more than one device to
+    // cover the 2-year service period.
+    const OverProvisionPoint at10 = evaluateOverProvision(0.10, params);
+    EXPECT_GT(at10.devices, 1.0);
+    EXPECT_NEAR(at10.devices,
+                util::asYears(params.service_period) /
+                    at10.lifetime_years,
+                1e-9);
+    // Embodied = devices * (1 + pf) * capacity * cps.
+    EXPECT_NEAR(util::asGrams(at10.effective_embodied),
+                at10.devices * 1.10 * 128.0 * 6.3, 1e-6);
+}
+
+TEST(Figure15, BadSweepsAreFatal)
+{
+    ProvisioningStudyParams params;
+    EXPECT_EXIT(overProvisionSweep(params, 0.2, 0.1),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(optimalOverProvisionIndex({}),
+                ::testing::ExitedWithCode(1), "");
+    params.service_period = util::years(50.0);
+    EXPECT_EXIT(minimumPfForService(params),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::ssd

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * `act` -- a command-line carbon calculator over the ACT model.
+ *
+ *   act list <devices|socs|storage|nodes|regions|sources>
+ *   act cpa <node_nm> [options]           Eq. 5 carbon per area
+ *   act logic <area_mm2> <node_nm> [options]   Eq. 4 die footprint
+ *   act storage <technology> <gigabytes>       Eq. 6-8 footprint
+ *   act device <name> [options]           Eq. 3 over a device BOM
+ *   act soc <name> [options]              mobile platform summary
+ *   act footprint --energy-kwh E [--ci-use g] --embodied-g C
+ *                 --time-years T --lifetime-years LT    Eq. 1
+ *
+ * Fab options: --fab-ci <g/kWh>  --yield <y>  --abatement <a>
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/embodied.h"
+#include "core/footprint.h"
+#include "core/lifecycle.h"
+#include "core/metrics.h"
+#include "core/operational.h"
+#include "data/device_json.h"
+#include "data/soc_db.h"
+#include "mobile/platform.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace act;
+
+void
+printUsage()
+{
+    std::cout <<
+        "usage: act <command> [arguments] [fab options]\n"
+        "\n"
+        "commands:\n"
+        "  list <devices|socs|storage|nodes|regions|sources>\n"
+        "  cpa <node_nm>                  carbon per cm2 (Eq. 5)\n"
+        "  logic <area_mm2> <node_nm>     die embodied carbon (Eq. 4)\n"
+        "  storage <technology> <GB>      memory/storage carbon "
+        "(Eq. 6-8)\n"
+        "  device <name>                  device BOM footprint (Eq. 3)\n"
+        "  device-file <path.json>        user-defined device footprint\n"
+        "  lifecycle <name|path.json>     four-phase product estimate\n"
+        "  soc <name>                     mobile platform summary\n"
+        "  footprint --energy-kwh E [--ci-use g] --embodied-g C\n"
+        "            --time-years T --lifetime-years LT   (Eq. 1)\n"
+        "\n"
+        "fab options (for cpa/logic/device/soc):\n"
+        "  --fab-ci <g/kWh>   fab carbon intensity "
+        "(default: Taiwan grid + 25% solar)\n"
+        "  --yield <y>        fab yield in (0, 1] (default 0.875)\n"
+        "  --abatement <a>    gas abatement in [0.90, 1.0] "
+        "(default 0.97)\n";
+}
+
+/** Simple flag map over argv[from..). */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int from)
+    {
+        for (int i = from; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (util::startsWith(arg, "--")) {
+                if (i + 1 >= argc)
+                    util::fatal("flag ", arg, " needs a value");
+                flags_.emplace_back(arg.substr(2), argv[++i]);
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    const std::vector<std::string> &positional() const
+    { return positional_; }
+
+    double
+    numberOr(const std::string &name, double fallback) const
+    {
+        for (const auto &[key, value] : flags_) {
+            if (key == name) {
+                try {
+                    return std::stod(value);
+                } catch (const std::logic_error &) {
+                    util::fatal("flag --", name,
+                                " expects a number, got '", value, "'");
+                }
+            }
+        }
+        return fallback;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &[key, value] : flags_) {
+            if (key == name)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> flags_;
+    std::vector<std::string> positional_;
+};
+
+core::FabParams
+fabFromArgs(const Args &args)
+{
+    core::FabParams fab;
+    if (args.has("fab-ci")) {
+        fab.ci_fab = util::gramsPerKilowattHour(
+            args.numberOr("fab-ci", fab.ci_fab.value()));
+    }
+    fab.yield = args.numberOr("yield", fab.yield);
+    fab.abatement = args.numberOr("abatement", fab.abatement);
+    return fab;
+}
+
+int
+cmdList(const std::string &what)
+{
+    if (what == "devices") {
+        for (const auto &device :
+             data::DeviceDatabase::instance().records()) {
+            std::cout << device.name << " (" << device.release_year
+                      << ", " << device.ics.size() << " BOM entries)\n";
+        }
+    } else if (what == "socs") {
+        for (const auto &soc : data::SocDatabase::instance().records()) {
+            std::cout << soc.name << " (" << soc.release_year << ", "
+                      << soc.node_nm << " nm, "
+                      << util::asSquareMillimeters(soc.die_area)
+                      << " mm2)\n";
+        }
+    } else if (what == "storage") {
+        for (data::StorageClass cls :
+             {data::StorageClass::Dram, data::StorageClass::Ssd,
+              data::StorageClass::Hdd}) {
+            for (const auto &record : data::storageTable(cls)) {
+                std::cout << record.name << " ("
+                          << record.cps.value() << " g CO2/GB)\n";
+            }
+        }
+    } else if (what == "nodes") {
+        for (const auto &record :
+             data::FabDatabase::instance().records()) {
+            std::cout << record.name << " (EPA "
+                      << record.epa.value() << " kWh/cm2)\n";
+        }
+    } else if (what == "regions") {
+        for (const auto &record : data::regionTable()) {
+            std::cout << record.name << " ("
+                      << record.intensity.value() << " g CO2/kWh)\n";
+        }
+    } else if (what == "sources") {
+        for (const auto &record : data::energySourceTable()) {
+            std::cout << record.name << " ("
+                      << record.intensity.value() << " g CO2/kWh)\n";
+        }
+    } else {
+        util::fatal("unknown list target '", what, "'");
+    }
+    return 0;
+}
+
+int
+cmdCpa(const Args &args)
+{
+    if (args.positional().empty())
+        util::fatal("cpa needs a node in nm");
+    const double nm = std::stod(args.positional()[0]);
+    const core::FabParams fab = fabFromArgs(args);
+    const auto cpa = core::carbonPerArea(fab, nm);
+    std::cout << "CPA(" << nm << " nm) = "
+              << util::formatSig(cpa.value(), 4) << " g CO2/cm2 "
+              << "(CI_fab " << util::formatSig(fab.ci_fab.value(), 4)
+              << " g/kWh, yield " << fab.yield << ", abatement "
+              << fab.abatement << ")\n";
+    return 0;
+}
+
+int
+cmdLogic(const Args &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("logic needs <area_mm2> <node_nm>");
+    const double mm2 = std::stod(args.positional()[0]);
+    const double nm = std::stod(args.positional()[1]);
+    const core::FabParams fab = fabFromArgs(args);
+    const auto mass = core::logicEmbodied(
+        util::squareMillimeters(mm2), nm, fab);
+    std::cout << mm2 << " mm2 @ " << nm << " nm -> "
+              << util::formatSig(util::asGrams(mass), 4) << " g CO2 ("
+              << util::formatSig(util::asKilograms(mass), 3)
+              << " kg)\n";
+    return 0;
+}
+
+int
+cmdStorage(const Args &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("storage needs <technology> <gigabytes>");
+    const std::string technology = args.positional()[0];
+    const double gb = std::stod(args.positional()[1]);
+    const auto mass = core::storageEmbodied(
+        util::gigabytes(gb), technology);
+    std::cout << gb << " GB of " << technology << " -> "
+              << util::formatSig(util::asGrams(mass), 4) << " g CO2\n";
+    return 0;
+}
+
+int
+printDeviceFootprint(const data::DeviceRecord &device, const Args &args)
+{
+    if (device.ics.empty()) {
+        util::fatal("'", device.name,
+                    "' has no modeled BOM (pre-28 nm era)");
+    }
+    const core::EmbodiedModel model(fabFromArgs(args));
+    const auto footprint = model.evaluate(device);
+
+    util::Table table({"IC", "kg CO2"});
+    for (const auto &component : footprint.components)
+        table.addRow(component.name,
+                     {util::asKilograms(component.embodied)});
+    table.addSeparator();
+    table.addRow("packaging (Nr = " +
+                     std::to_string(footprint.package_count) + ")",
+                 {util::asKilograms(footprint.packaging)});
+    table.addRow("TOTAL", {util::asKilograms(footprint.total())});
+    std::cout << device.name << " embodied IC footprint:\n"
+              << table.render();
+    return 0;
+}
+
+int
+cmdDevice(const Args &args)
+{
+    if (args.positional().empty())
+        util::fatal("device needs a name (see 'act list devices')");
+    return printDeviceFootprint(
+        data::DeviceDatabase::instance().byNameOrDie(
+            args.positional()[0]),
+        args);
+}
+
+int
+cmdDeviceFile(const Args &args)
+{
+    if (args.positional().empty())
+        util::fatal("device-file needs a JSON path");
+    return printDeviceFootprint(
+        data::loadDeviceFile(args.positional()[0]), args);
+}
+
+int
+cmdLifecycle(const Args &args)
+{
+    if (args.positional().empty())
+        util::fatal("lifecycle needs a device name or JSON path");
+    const std::string target = args.positional()[0];
+    const auto named =
+        data::DeviceDatabase::instance().findByName(target);
+    const data::DeviceRecord device =
+        named ? *named : data::loadDeviceFile(target);
+    const auto estimate =
+        core::estimateLifecycle(device, fabFromArgs(args));
+
+    util::Table table({"Phase", "kg CO2"});
+    table.addRow("IC manufacturing (ACT bottom-up)",
+                 {util::asKilograms(estimate.ic_manufacturing)});
+    table.addRow("other manufacturing",
+                 {util::asKilograms(estimate.other_manufacturing)});
+    table.addRow("transport", {util::asKilograms(estimate.transport)});
+    table.addRow("use", {util::asKilograms(estimate.use)});
+    table.addRow("end of life",
+                 {util::asKilograms(estimate.end_of_life)});
+    table.addSeparator();
+    table.addRow("TOTAL", {util::asKilograms(estimate.total())});
+    std::cout << device.name << " life-cycle estimate:\n"
+              << table.render();
+    std::cout << "manufacturing share: "
+              << util::formatFixed(
+                     estimate.manufacturingShare() * 100.0, 1)
+              << "%\n";
+    return 0;
+}
+
+int
+cmdSoc(const Args &args)
+{
+    if (args.positional().empty())
+        util::fatal("soc needs a name (see 'act list socs')");
+    const auto soc = data::SocDatabase::instance().byNameOrDie(
+        args.positional()[0]);
+    const core::FabParams fab = fabFromArgs(args);
+    const auto embodied = mobile::platformEmbodied(soc, fab);
+    const auto point = mobile::designPoint(soc, fab);
+
+    util::Table table({"Quantity", "Value"});
+    table.addRow({"process node",
+                  util::formatSig(soc.node_nm, 3) + " nm"});
+    table.addRow({"die area",
+                  util::formatSig(
+                      util::asSquareMillimeters(soc.die_area), 4) +
+                      " mm2"});
+    table.addRow({"aggregate score",
+                  util::formatSig(soc.aggregateScore(), 4)});
+    table.addRow({"TDP", util::formatSig(util::asWatts(soc.tdp), 3) +
+                             " W"});
+    table.addRow({"SoC embodied",
+                  util::formatSig(util::asGrams(embodied.soc), 4) +
+                      " g CO2"});
+    table.addRow({"DRAM embodied",
+                  util::formatSig(util::asGrams(embodied.dram), 4) +
+                      " g CO2"});
+    table.addRow({"platform embodied",
+                  util::formatSig(util::asKilograms(
+                      embodied.total()), 3) + " kg CO2"});
+    table.addRow({"reference energy",
+                  util::formatSig(util::asJoules(point.energy), 4) +
+                      " J"});
+    std::cout << soc.name << ":\n" << table.render();
+    return 0;
+}
+
+int
+cmdFootprint(const Args &args)
+{
+    if (!args.has("energy-kwh") || !args.has("embodied-g") ||
+        !args.has("time-years") || !args.has("lifetime-years")) {
+        util::fatal("footprint needs --energy-kwh, --embodied-g, "
+                    "--time-years, --lifetime-years");
+    }
+    const auto use = core::OperationalParams::withIntensity(
+        util::gramsPerKilowattHour(args.numberOr(
+            "ci-use", data::defaultUseIntensity().value())));
+    const auto opcf = core::operationalFootprint(
+        util::kilowattHours(args.numberOr("energy-kwh", 0.0)), use);
+    const auto cf = core::combineFootprint(
+        opcf, util::grams(args.numberOr("embodied-g", 0.0)),
+        util::years(args.numberOr("time-years", 0.0)),
+        util::years(args.numberOr("lifetime-years", 1.0)));
+    std::cout << "OPCF = " << util::formatSig(util::asGrams(opcf), 4)
+              << " g, embodied allocated = "
+              << util::formatSig(
+                     util::asGrams(cf.embodied_allocated), 4)
+              << " g, CF = "
+              << util::formatSig(util::asGrams(cf.total()), 4)
+              << " g CO2 (embodied share "
+              << util::formatFixed(cf.embodiedShare() * 100.0, 1)
+              << "%)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "help") == 0) {
+        printUsage();
+        return argc < 2 ? 1 : 0;
+    }
+
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+    if (command == "list") {
+        if (args.positional().empty())
+            act::util::fatal("list needs a target");
+        return cmdList(args.positional()[0]);
+    }
+    if (command == "cpa")
+        return cmdCpa(args);
+    if (command == "logic")
+        return cmdLogic(args);
+    if (command == "storage")
+        return cmdStorage(args);
+    if (command == "device")
+        return cmdDevice(args);
+    if (command == "device-file")
+        return cmdDeviceFile(args);
+    if (command == "lifecycle")
+        return cmdLifecycle(args);
+    if (command == "soc")
+        return cmdSoc(args);
+    if (command == "footprint")
+        return cmdFootprint(args);
+
+    act::util::fatal("unknown command '", command,
+                     "' (try 'act --help')");
+}
