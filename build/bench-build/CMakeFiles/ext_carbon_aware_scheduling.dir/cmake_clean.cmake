@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_carbon_aware_scheduling"
+  "../bench/ext_carbon_aware_scheduling.pdb"
+  "CMakeFiles/ext_carbon_aware_scheduling.dir/ext_carbon_aware_scheduling.cc.o"
+  "CMakeFiles/ext_carbon_aware_scheduling.dir/ext_carbon_aware_scheduling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_carbon_aware_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

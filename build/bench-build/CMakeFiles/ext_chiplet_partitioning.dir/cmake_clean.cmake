@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_chiplet_partitioning"
+  "../bench/ext_chiplet_partitioning.pdb"
+  "CMakeFiles/ext_chiplet_partitioning.dir/ext_chiplet_partitioning.cc.o"
+  "CMakeFiles/ext_chiplet_partitioning.dir/ext_chiplet_partitioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chiplet_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

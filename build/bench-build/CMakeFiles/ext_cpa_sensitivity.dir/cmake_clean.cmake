@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cpa_sensitivity"
+  "../bench/ext_cpa_sensitivity.pdb"
+  "CMakeFiles/ext_cpa_sensitivity.dir/ext_cpa_sensitivity.cc.o"
+  "CMakeFiles/ext_cpa_sensitivity.dir/ext_cpa_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cpa_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dvfs_carbon"
+  "../bench/ext_dvfs_carbon.pdb"
+  "CMakeFiles/ext_dvfs_carbon.dir/ext_dvfs_carbon.cc.o"
+  "CMakeFiles/ext_dvfs_carbon.dir/ext_dvfs_carbon.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dvfs_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

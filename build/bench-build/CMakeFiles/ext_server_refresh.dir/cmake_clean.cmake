@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_server_refresh"
+  "../bench/ext_server_refresh.pdb"
+  "CMakeFiles/ext_server_refresh.dir/ext_server_refresh.cc.o"
+  "CMakeFiles/ext_server_refresh.dir/ext_server_refresh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_server_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_storage_tiers"
+  "../bench/ext_storage_tiers.pdb"
+  "CMakeFiles/ext_storage_tiers.dir/ext_storage_tiers.cc.o"
+  "CMakeFiles/ext_storage_tiers.dir/ext_storage_tiers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_storage_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_lifecycle_shift"
+  "../bench/fig01_lifecycle_shift.pdb"
+  "CMakeFiles/fig01_lifecycle_shift.dir/fig01_lifecycle_shift.cc.o"
+  "CMakeFiles/fig01_lifecycle_shift.dir/fig01_lifecycle_shift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_lifecycle_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_device_breakdown"
+  "../bench/fig04_device_breakdown.pdb"
+  "CMakeFiles/fig04_device_breakdown.dir/fig04_device_breakdown.cc.o"
+  "CMakeFiles/fig04_device_breakdown.dir/fig04_device_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_device_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_cpa_scaling"
+  "../bench/fig06_cpa_scaling.pdb"
+  "CMakeFiles/fig06_cpa_scaling.dir/fig06_cpa_scaling.cc.o"
+  "CMakeFiles/fig06_cpa_scaling.dir/fig06_cpa_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cpa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_memory_cps"
+  "../bench/fig07_memory_cps.pdb"
+  "CMakeFiles/fig07_memory_cps.dir/fig07_memory_cps.cc.o"
+  "CMakeFiles/fig07_memory_cps.dir/fig07_memory_cps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_memory_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

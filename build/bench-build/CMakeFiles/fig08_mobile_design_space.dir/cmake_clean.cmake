@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_mobile_design_space"
+  "../bench/fig08_mobile_design_space.pdb"
+  "CMakeFiles/fig08_mobile_design_space.dir/fig08_mobile_design_space.cc.o"
+  "CMakeFiles/fig08_mobile_design_space.dir/fig08_mobile_design_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mobile_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_provisioning_metrics"
+  "../bench/fig09_provisioning_metrics.pdb"
+  "CMakeFiles/fig09_provisioning_metrics.dir/fig09_provisioning_metrics.cc.o"
+  "CMakeFiles/fig09_provisioning_metrics.dir/fig09_provisioning_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_provisioning_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

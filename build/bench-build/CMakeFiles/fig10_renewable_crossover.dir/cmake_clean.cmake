@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_renewable_crossover"
+  "../bench/fig10_renewable_crossover.pdb"
+  "CMakeFiles/fig10_renewable_crossover.dir/fig10_renewable_crossover.cc.o"
+  "CMakeFiles/fig10_renewable_crossover.dir/fig10_renewable_crossover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_renewable_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_reconfigurable"
+  "../bench/fig11_reconfigurable.pdb"
+  "CMakeFiles/fig11_reconfigurable.dir/fig11_reconfigurable.cc.o"
+  "CMakeFiles/fig11_reconfigurable.dir/fig11_reconfigurable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reconfigurable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_qos_and_jevons"
+  "../bench/fig13_qos_and_jevons.pdb"
+  "CMakeFiles/fig13_qos_and_jevons.dir/fig13_qos_and_jevons.cc.o"
+  "CMakeFiles/fig13_qos_and_jevons.dir/fig13_qos_and_jevons.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_qos_and_jevons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_qos_and_jevons.
+# This may be replaced when dependencies are built.

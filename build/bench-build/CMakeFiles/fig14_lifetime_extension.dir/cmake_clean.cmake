@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_lifetime_extension"
+  "../bench/fig14_lifetime_extension.pdb"
+  "CMakeFiles/fig14_lifetime_extension.dir/fig14_lifetime_extension.cc.o"
+  "CMakeFiles/fig14_lifetime_extension.dir/fig14_lifetime_extension.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_lifetime_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

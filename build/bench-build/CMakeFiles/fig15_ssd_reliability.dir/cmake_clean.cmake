@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_ssd_reliability"
+  "../bench/fig15_ssd_reliability.pdb"
+  "CMakeFiles/fig15_ssd_reliability.dir/fig15_ssd_reliability.cc.o"
+  "CMakeFiles/fig15_ssd_reliability.dir/fig15_ssd_reliability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ssd_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_17_lca_breakdown"
+  "../bench/fig16_17_lca_breakdown.pdb"
+  "CMakeFiles/fig16_17_lca_breakdown.dir/fig16_17_lca_breakdown.cc.o"
+  "CMakeFiles/fig16_17_lca_breakdown.dir/fig16_17_lca_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_17_lca_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

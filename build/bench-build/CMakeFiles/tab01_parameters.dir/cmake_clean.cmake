@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_parameters"
+  "../bench/tab01_parameters.pdb"
+  "CMakeFiles/tab01_parameters.dir/tab01_parameters.cc.o"
+  "CMakeFiles/tab01_parameters.dir/tab01_parameters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_metrics"
+  "../bench/tab02_metrics.pdb"
+  "CMakeFiles/tab02_metrics.dir/tab02_metrics.cc.o"
+  "CMakeFiles/tab02_metrics.dir/tab02_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

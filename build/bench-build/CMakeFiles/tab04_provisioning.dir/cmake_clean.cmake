@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_provisioning"
+  "../bench/tab04_provisioning.pdb"
+  "CMakeFiles/tab04_provisioning.dir/tab04_provisioning.cc.o"
+  "CMakeFiles/tab04_provisioning.dir/tab04_provisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

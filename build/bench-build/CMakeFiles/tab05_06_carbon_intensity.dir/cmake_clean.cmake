@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_06_carbon_intensity"
+  "../bench/tab05_06_carbon_intensity.pdb"
+  "CMakeFiles/tab05_06_carbon_intensity.dir/tab05_06_carbon_intensity.cc.o"
+  "CMakeFiles/tab05_06_carbon_intensity.dir/tab05_06_carbon_intensity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_06_carbon_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab05_06_carbon_intensity.
+# This may be replaced when dependencies are built.

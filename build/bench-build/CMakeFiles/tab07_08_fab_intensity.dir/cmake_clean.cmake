@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab07_08_fab_intensity"
+  "../bench/tab07_08_fab_intensity.pdb"
+  "CMakeFiles/tab07_08_fab_intensity.dir/tab07_08_fab_intensity.cc.o"
+  "CMakeFiles/tab07_08_fab_intensity.dir/tab07_08_fab_intensity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_08_fab_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab07_08_fab_intensity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab07_08_fab_intensity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab09_11_storage_intensity"
+  "../bench/tab09_11_storage_intensity.pdb"
+  "CMakeFiles/tab09_11_storage_intensity.dir/tab09_11_storage_intensity.cc.o"
+  "CMakeFiles/tab09_11_storage_intensity.dir/tab09_11_storage_intensity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab09_11_storage_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

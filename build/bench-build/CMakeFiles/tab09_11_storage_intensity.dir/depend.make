@@ -1,0 +1,2 @@
+# Empty dependencies file for tab09_11_storage_intensity.
+# This may be replaced when dependencies are built.

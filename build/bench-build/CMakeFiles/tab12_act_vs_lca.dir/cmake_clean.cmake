@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab12_act_vs_lca"
+  "../bench/tab12_act_vs_lca.pdb"
+  "CMakeFiles/tab12_act_vs_lca.dir/tab12_act_vs_lca.cc.o"
+  "CMakeFiles/tab12_act_vs_lca.dir/tab12_act_vs_lca.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab12_act_vs_lca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

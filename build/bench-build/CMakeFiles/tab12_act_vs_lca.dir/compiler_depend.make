@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab12_act_vs_lca.
+# This may be replaced when dependencies are built.

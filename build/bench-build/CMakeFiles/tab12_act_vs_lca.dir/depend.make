@@ -1,0 +1,2 @@
+# Empty dependencies file for tab12_act_vs_lca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_fleet_planner.dir/storage_fleet_planner.cpp.o"
+  "CMakeFiles/storage_fleet_planner.dir/storage_fleet_planner.cpp.o.d"
+  "storage_fleet_planner"
+  "storage_fleet_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_fleet_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

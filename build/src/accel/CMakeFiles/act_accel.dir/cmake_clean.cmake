@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_accel.dir/design_space.cc.o"
+  "CMakeFiles/act_accel.dir/design_space.cc.o.d"
+  "CMakeFiles/act_accel.dir/network.cc.o"
+  "CMakeFiles/act_accel.dir/network.cc.o.d"
+  "CMakeFiles/act_accel.dir/npu_model.cc.o"
+  "CMakeFiles/act_accel.dir/npu_model.cc.o.d"
+  "libact_accel.a"
+  "libact_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_config.dir/json.cc.o"
+  "CMakeFiles/act_config.dir/json.cc.o.d"
+  "libact_config.a"
+  "libact_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chiplet.cc" "src/core/CMakeFiles/act_core.dir/chiplet.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/chiplet.cc.o.d"
+  "/root/repo/src/core/embodied.cc" "src/core/CMakeFiles/act_core.dir/embodied.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/embodied.cc.o.d"
+  "/root/repo/src/core/fab_params.cc" "src/core/CMakeFiles/act_core.dir/fab_params.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/fab_params.cc.o.d"
+  "/root/repo/src/core/footprint.cc" "src/core/CMakeFiles/act_core.dir/footprint.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/footprint.cc.o.d"
+  "/root/repo/src/core/lifecycle.cc" "src/core/CMakeFiles/act_core.dir/lifecycle.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/lifecycle.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/act_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/model_config.cc" "src/core/CMakeFiles/act_core.dir/model_config.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/model_config.cc.o.d"
+  "/root/repo/src/core/operational.cc" "src/core/CMakeFiles/act_core.dir/operational.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/operational.cc.o.d"
+  "/root/repo/src/core/replacement.cc" "src/core/CMakeFiles/act_core.dir/replacement.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/replacement.cc.o.d"
+  "/root/repo/src/core/scheduling.cc" "src/core/CMakeFiles/act_core.dir/scheduling.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/scheduling.cc.o.d"
+  "/root/repo/src/core/yield.cc" "src/core/CMakeFiles/act_core.dir/yield.cc.o" "gcc" "src/core/CMakeFiles/act_core.dir/yield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/act_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/act_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/act_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

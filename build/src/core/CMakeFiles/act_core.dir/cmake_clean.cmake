@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_core.dir/chiplet.cc.o"
+  "CMakeFiles/act_core.dir/chiplet.cc.o.d"
+  "CMakeFiles/act_core.dir/embodied.cc.o"
+  "CMakeFiles/act_core.dir/embodied.cc.o.d"
+  "CMakeFiles/act_core.dir/fab_params.cc.o"
+  "CMakeFiles/act_core.dir/fab_params.cc.o.d"
+  "CMakeFiles/act_core.dir/footprint.cc.o"
+  "CMakeFiles/act_core.dir/footprint.cc.o.d"
+  "CMakeFiles/act_core.dir/lifecycle.cc.o"
+  "CMakeFiles/act_core.dir/lifecycle.cc.o.d"
+  "CMakeFiles/act_core.dir/metrics.cc.o"
+  "CMakeFiles/act_core.dir/metrics.cc.o.d"
+  "CMakeFiles/act_core.dir/model_config.cc.o"
+  "CMakeFiles/act_core.dir/model_config.cc.o.d"
+  "CMakeFiles/act_core.dir/operational.cc.o"
+  "CMakeFiles/act_core.dir/operational.cc.o.d"
+  "CMakeFiles/act_core.dir/replacement.cc.o"
+  "CMakeFiles/act_core.dir/replacement.cc.o.d"
+  "CMakeFiles/act_core.dir/scheduling.cc.o"
+  "CMakeFiles/act_core.dir/scheduling.cc.o.d"
+  "CMakeFiles/act_core.dir/yield.cc.o"
+  "CMakeFiles/act_core.dir/yield.cc.o.d"
+  "libact_core.a"
+  "libact_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

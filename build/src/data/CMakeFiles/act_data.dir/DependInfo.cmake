@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/carbon_intensity_db.cc" "src/data/CMakeFiles/act_data.dir/carbon_intensity_db.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/carbon_intensity_db.cc.o.d"
+  "/root/repo/src/data/ci_profile.cc" "src/data/CMakeFiles/act_data.dir/ci_profile.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/ci_profile.cc.o.d"
+  "/root/repo/src/data/device_db.cc" "src/data/CMakeFiles/act_data.dir/device_db.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/device_db.cc.o.d"
+  "/root/repo/src/data/device_json.cc" "src/data/CMakeFiles/act_data.dir/device_json.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/device_json.cc.o.d"
+  "/root/repo/src/data/fab_db.cc" "src/data/CMakeFiles/act_data.dir/fab_db.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/fab_db.cc.o.d"
+  "/root/repo/src/data/memory_db.cc" "src/data/CMakeFiles/act_data.dir/memory_db.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/memory_db.cc.o.d"
+  "/root/repo/src/data/soc_db.cc" "src/data/CMakeFiles/act_data.dir/soc_db.cc.o" "gcc" "src/data/CMakeFiles/act_data.dir/soc_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/act_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/act_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

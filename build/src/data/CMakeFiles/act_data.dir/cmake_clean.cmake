@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_data.dir/carbon_intensity_db.cc.o"
+  "CMakeFiles/act_data.dir/carbon_intensity_db.cc.o.d"
+  "CMakeFiles/act_data.dir/ci_profile.cc.o"
+  "CMakeFiles/act_data.dir/ci_profile.cc.o.d"
+  "CMakeFiles/act_data.dir/device_db.cc.o"
+  "CMakeFiles/act_data.dir/device_db.cc.o.d"
+  "CMakeFiles/act_data.dir/device_json.cc.o"
+  "CMakeFiles/act_data.dir/device_json.cc.o.d"
+  "CMakeFiles/act_data.dir/fab_db.cc.o"
+  "CMakeFiles/act_data.dir/fab_db.cc.o.d"
+  "CMakeFiles/act_data.dir/memory_db.cc.o"
+  "CMakeFiles/act_data.dir/memory_db.cc.o.d"
+  "CMakeFiles/act_data.dir/soc_db.cc.o"
+  "CMakeFiles/act_data.dir/soc_db.cc.o.d"
+  "libact_data.a"
+  "libact_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

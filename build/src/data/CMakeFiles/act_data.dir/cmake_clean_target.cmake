@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libact_data.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/montecarlo.cc" "src/dse/CMakeFiles/act_dse.dir/montecarlo.cc.o" "gcc" "src/dse/CMakeFiles/act_dse.dir/montecarlo.cc.o.d"
+  "/root/repo/src/dse/optimize.cc" "src/dse/CMakeFiles/act_dse.dir/optimize.cc.o" "gcc" "src/dse/CMakeFiles/act_dse.dir/optimize.cc.o.d"
+  "/root/repo/src/dse/pareto.cc" "src/dse/CMakeFiles/act_dse.dir/pareto.cc.o" "gcc" "src/dse/CMakeFiles/act_dse.dir/pareto.cc.o.d"
+  "/root/repo/src/dse/scoreboard.cc" "src/dse/CMakeFiles/act_dse.dir/scoreboard.cc.o" "gcc" "src/dse/CMakeFiles/act_dse.dir/scoreboard.cc.o.d"
+  "/root/repo/src/dse/sensitivity.cc" "src/dse/CMakeFiles/act_dse.dir/sensitivity.cc.o" "gcc" "src/dse/CMakeFiles/act_dse.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/act_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/act_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/act_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/act_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

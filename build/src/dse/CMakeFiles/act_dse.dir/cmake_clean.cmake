@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_dse.dir/montecarlo.cc.o"
+  "CMakeFiles/act_dse.dir/montecarlo.cc.o.d"
+  "CMakeFiles/act_dse.dir/optimize.cc.o"
+  "CMakeFiles/act_dse.dir/optimize.cc.o.d"
+  "CMakeFiles/act_dse.dir/pareto.cc.o"
+  "CMakeFiles/act_dse.dir/pareto.cc.o.d"
+  "CMakeFiles/act_dse.dir/scoreboard.cc.o"
+  "CMakeFiles/act_dse.dir/scoreboard.cc.o.d"
+  "CMakeFiles/act_dse.dir/sensitivity.cc.o"
+  "CMakeFiles/act_dse.dir/sensitivity.cc.o.d"
+  "libact_dse.a"
+  "libact_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

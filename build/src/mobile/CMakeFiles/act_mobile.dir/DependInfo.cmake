@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobile/dvfs.cc" "src/mobile/CMakeFiles/act_mobile.dir/dvfs.cc.o" "gcc" "src/mobile/CMakeFiles/act_mobile.dir/dvfs.cc.o.d"
+  "/root/repo/src/mobile/fleet.cc" "src/mobile/CMakeFiles/act_mobile.dir/fleet.cc.o" "gcc" "src/mobile/CMakeFiles/act_mobile.dir/fleet.cc.o.d"
+  "/root/repo/src/mobile/platform.cc" "src/mobile/CMakeFiles/act_mobile.dir/platform.cc.o" "gcc" "src/mobile/CMakeFiles/act_mobile.dir/platform.cc.o.d"
+  "/root/repo/src/mobile/provisioning.cc" "src/mobile/CMakeFiles/act_mobile.dir/provisioning.cc.o" "gcc" "src/mobile/CMakeFiles/act_mobile.dir/provisioning.cc.o.d"
+  "/root/repo/src/mobile/reconfigurable.cc" "src/mobile/CMakeFiles/act_mobile.dir/reconfigurable.cc.o" "gcc" "src/mobile/CMakeFiles/act_mobile.dir/reconfigurable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/act_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/act_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/act_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/act_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

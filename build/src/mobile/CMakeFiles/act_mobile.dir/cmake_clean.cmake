@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_mobile.dir/dvfs.cc.o"
+  "CMakeFiles/act_mobile.dir/dvfs.cc.o.d"
+  "CMakeFiles/act_mobile.dir/fleet.cc.o"
+  "CMakeFiles/act_mobile.dir/fleet.cc.o.d"
+  "CMakeFiles/act_mobile.dir/platform.cc.o"
+  "CMakeFiles/act_mobile.dir/platform.cc.o.d"
+  "CMakeFiles/act_mobile.dir/provisioning.cc.o"
+  "CMakeFiles/act_mobile.dir/provisioning.cc.o.d"
+  "CMakeFiles/act_mobile.dir/reconfigurable.cc.o"
+  "CMakeFiles/act_mobile.dir/reconfigurable.cc.o.d"
+  "libact_mobile.a"
+  "libact_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_report.dir/experiment.cc.o"
+  "CMakeFiles/act_report.dir/experiment.cc.o.d"
+  "libact_report.a"
+  "libact_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_server.dir/datacenter.cc.o"
+  "CMakeFiles/act_server.dir/datacenter.cc.o.d"
+  "CMakeFiles/act_server.dir/storage_tier.cc.o"
+  "CMakeFiles/act_server.dir/storage_tier.cc.o.d"
+  "libact_server.a"
+  "libact_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

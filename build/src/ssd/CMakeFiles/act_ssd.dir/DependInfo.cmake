@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/ftl_sim.cc" "src/ssd/CMakeFiles/act_ssd.dir/ftl_sim.cc.o" "gcc" "src/ssd/CMakeFiles/act_ssd.dir/ftl_sim.cc.o.d"
+  "/root/repo/src/ssd/lifetime.cc" "src/ssd/CMakeFiles/act_ssd.dir/lifetime.cc.o" "gcc" "src/ssd/CMakeFiles/act_ssd.dir/lifetime.cc.o.d"
+  "/root/repo/src/ssd/wa_model.cc" "src/ssd/CMakeFiles/act_ssd.dir/wa_model.cc.o" "gcc" "src/ssd/CMakeFiles/act_ssd.dir/wa_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/act_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/act_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/act_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_ssd.dir/ftl_sim.cc.o"
+  "CMakeFiles/act_ssd.dir/ftl_sim.cc.o.d"
+  "CMakeFiles/act_ssd.dir/lifetime.cc.o"
+  "CMakeFiles/act_ssd.dir/lifetime.cc.o.d"
+  "CMakeFiles/act_ssd.dir/wa_model.cc.o"
+  "CMakeFiles/act_ssd.dir/wa_model.cc.o.d"
+  "libact_ssd.a"
+  "libact_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

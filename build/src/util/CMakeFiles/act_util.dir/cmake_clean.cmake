@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_util.dir/chart.cc.o"
+  "CMakeFiles/act_util.dir/chart.cc.o.d"
+  "CMakeFiles/act_util.dir/csv.cc.o"
+  "CMakeFiles/act_util.dir/csv.cc.o.d"
+  "CMakeFiles/act_util.dir/interp.cc.o"
+  "CMakeFiles/act_util.dir/interp.cc.o.d"
+  "CMakeFiles/act_util.dir/logging.cc.o"
+  "CMakeFiles/act_util.dir/logging.cc.o.d"
+  "CMakeFiles/act_util.dir/random.cc.o"
+  "CMakeFiles/act_util.dir/random.cc.o.d"
+  "CMakeFiles/act_util.dir/stats.cc.o"
+  "CMakeFiles/act_util.dir/stats.cc.o.d"
+  "CMakeFiles/act_util.dir/strings.cc.o"
+  "CMakeFiles/act_util.dir/strings.cc.o.d"
+  "CMakeFiles/act_util.dir/table.cc.o"
+  "CMakeFiles/act_util.dir/table.cc.o.d"
+  "libact_util.a"
+  "libact_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_json_test.dir/config_json_test.cc.o"
+  "CMakeFiles/config_json_test.dir/config_json_test.cc.o.d"
+  "config_json_test"
+  "config_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_embodied_test.dir/core_embodied_test.cc.o"
+  "CMakeFiles/core_embodied_test.dir/core_embodied_test.cc.o.d"
+  "core_embodied_test"
+  "core_embodied_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_embodied_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_footprint_test.dir/core_footprint_test.cc.o"
+  "CMakeFiles/core_footprint_test.dir/core_footprint_test.cc.o.d"
+  "core_footprint_test"
+  "core_footprint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_footprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_carbon_intensity_test.dir/data_carbon_intensity_test.cc.o"
+  "CMakeFiles/data_carbon_intensity_test.dir/data_carbon_intensity_test.cc.o.d"
+  "data_carbon_intensity_test"
+  "data_carbon_intensity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_carbon_intensity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

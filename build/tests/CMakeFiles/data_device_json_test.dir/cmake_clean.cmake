@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_device_json_test.dir/data_device_json_test.cc.o"
+  "CMakeFiles/data_device_json_test.dir/data_device_json_test.cc.o.d"
+  "data_device_json_test"
+  "data_device_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_device_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

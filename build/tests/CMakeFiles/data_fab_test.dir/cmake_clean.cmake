@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_fab_test.dir/data_fab_test.cc.o"
+  "CMakeFiles/data_fab_test.dir/data_fab_test.cc.o.d"
+  "data_fab_test"
+  "data_fab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_fab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

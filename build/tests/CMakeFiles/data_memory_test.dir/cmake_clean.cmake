@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_memory_test.dir/data_memory_test.cc.o"
+  "CMakeFiles/data_memory_test.dir/data_memory_test.cc.o.d"
+  "data_memory_test"
+  "data_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_soc_test.dir/data_soc_test.cc.o"
+  "CMakeFiles/data_soc_test.dir/data_soc_test.cc.o.d"
+  "data_soc_test"
+  "data_soc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_soc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_montecarlo_test.dir/dse_montecarlo_test.cc.o"
+  "CMakeFiles/dse_montecarlo_test.dir/dse_montecarlo_test.cc.o.d"
+  "dse_montecarlo_test"
+  "dse_montecarlo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_montecarlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_sensitivity_test.dir/dse_sensitivity_test.cc.o"
+  "CMakeFiles/dse_sensitivity_test.dir/dse_sensitivity_test.cc.o.d"
+  "dse_sensitivity_test"
+  "dse_sensitivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dse_test.cc" "tests/CMakeFiles/dse_test.dir/dse_test.cc.o" "gcc" "tests/CMakeFiles/dse_test.dir/dse_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/act_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobile/CMakeFiles/act_mobile.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/act_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/act_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/act_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/act_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/act_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/act_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/act_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/act_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_dvfs_test.dir/mobile_dvfs_test.cc.o"
+  "CMakeFiles/mobile_dvfs_test.dir/mobile_dvfs_test.cc.o.d"
+  "mobile_dvfs_test"
+  "mobile_dvfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

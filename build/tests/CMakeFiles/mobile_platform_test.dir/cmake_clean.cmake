@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_platform_test.dir/mobile_platform_test.cc.o"
+  "CMakeFiles/mobile_platform_test.dir/mobile_platform_test.cc.o.d"
+  "mobile_platform_test"
+  "mobile_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_provisioning_test.dir/mobile_provisioning_test.cc.o"
+  "CMakeFiles/mobile_provisioning_test.dir/mobile_provisioning_test.cc.o.d"
+  "mobile_provisioning_test"
+  "mobile_provisioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_provisioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_reconfigurable_test.dir/mobile_reconfigurable_test.cc.o"
+  "CMakeFiles/mobile_reconfigurable_test.dir/mobile_reconfigurable_test.cc.o.d"
+  "mobile_reconfigurable_test"
+  "mobile_reconfigurable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_reconfigurable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_storage_tier_test.dir/server_storage_tier_test.cc.o"
+  "CMakeFiles/server_storage_tier_test.dir/server_storage_tier_test.cc.o.d"
+  "server_storage_tier_test"
+  "server_storage_tier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_storage_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

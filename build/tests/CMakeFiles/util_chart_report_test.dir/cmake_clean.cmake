@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_chart_report_test.dir/util_chart_report_test.cc.o"
+  "CMakeFiles/util_chart_report_test.dir/util_chart_report_test.cc.o.d"
+  "util_chart_report_test"
+  "util_chart_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_chart_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

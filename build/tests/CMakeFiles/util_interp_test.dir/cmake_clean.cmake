@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_interp_test.dir/util_interp_test.cc.o"
+  "CMakeFiles/util_interp_test.dir/util_interp_test.cc.o.d"
+  "util_interp_test"
+  "util_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

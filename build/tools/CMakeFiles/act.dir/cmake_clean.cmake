@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act.dir/act_cli.cc.o"
+  "CMakeFiles/act.dir/act_cli.cc.o.d"
+  "act"
+  "act.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
