@@ -1,18 +1,23 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the model-evaluation hot paths:
- * CPA computation, device evaluation, the NPU simulator, the FTL
- * simulator, and the full mobile design-space sweep. These bound the
- * cost of embedding ACT inside larger design-space-exploration loops.
+ * CPA computation (cached via core::CpaCache and with the cache
+ * bypassed), device evaluation, the NPU simulator, the FTL simulator,
+ * and the design-space sweeps at 1/4/8 worker threads (serial vs the
+ * util/parallel pool). These bound the cost of embedding ACT inside
+ * larger design-space-exploration loops.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "accel/design_space.h"
+#include "core/cpa_cache.h"
 #include "core/embodied.h"
+#include "dse/montecarlo.h"
 #include "dse/scoreboard.h"
 #include "mobile/platform.h"
 #include "ssd/ftl_sim.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -30,6 +35,39 @@ BM_CarbonPerArea(benchmark::State &state)
 }
 BENCHMARK(BM_CarbonPerArea);
 
+/** The raw Eq. 5 computation with memoization bypassed. */
+void
+BM_CpaUncached(benchmark::State &state)
+{
+    core::CpaCache::instance().setEnabled(false);
+    const core::FabParams fab;
+    double nm = 3.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::carbonPerArea(fab, nm));
+        nm = nm >= 28.0 ? 3.0 : nm + 1.0;
+    }
+    core::CpaCache::instance().setEnabled(true);
+}
+BENCHMARK(BM_CpaUncached);
+
+/** Steady-state cache hits over the 26-node working set. */
+void
+BM_CpaCached(benchmark::State &state)
+{
+    core::CpaCache::instance().setEnabled(true);
+    const core::FabParams fab;
+    for (double warm = 3.0; warm <= 28.0; warm += 1.0)
+        benchmark::DoNotOptimize(core::carbonPerArea(fab, warm));
+    double nm = 3.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::carbonPerArea(fab, nm));
+        nm = nm >= 28.0 ? 3.0 : nm + 1.0;
+    }
+    const auto stats = core::CpaCache::instance().stats();
+    state.counters["hit_rate"] = stats.hitRate();
+}
+BENCHMARK(BM_CpaCached);
+
 void
 BM_DeviceEvaluation(benchmark::State &state)
 {
@@ -41,9 +79,11 @@ BM_DeviceEvaluation(benchmark::State &state)
 }
 BENCHMARK(BM_DeviceEvaluation);
 
+/** Full Fig. 8 sweep + scoreboard at 1/4/8 worker threads. */
 void
 BM_MobileDesignSpace(benchmark::State &state)
 {
+    util::setThreadCount(static_cast<std::size_t>(state.range(0)));
     const core::FabParams fab;
     for (auto _ : state) {
         const auto space = mobile::mobileDesignSpace(fab);
@@ -51,8 +91,56 @@ BM_MobileDesignSpace(benchmark::State &state)
         benchmark::DoNotOptimize(
             scoreboard.winner(core::Metric::C2EP));
     }
+    util::setThreadCount(0);
 }
-BENCHMARK(BM_MobileDesignSpace);
+BENCHMARK(BM_MobileDesignSpace)->Arg(1)->Arg(4)->Arg(8);
+
+/** Eq. 5 Monte Carlo (Table 1 uncertainty) at 1/4/8 worker threads. */
+void
+BM_MonteCarlo(benchmark::State &state)
+{
+    util::setThreadCount(static_cast<std::size_t>(state.range(0)));
+    const std::vector<dse::UncertainParameter> parameters = {
+        {"ci_fab", dse::Distribution::Triangular, 447.5, 41.0, 583.0},
+        {"epa", dse::Distribution::Triangular, 1.52, 1.216, 1.824},
+        {"gpa", dse::Distribution::Uniform, 275.0, 200.0, 350.0},
+        {"mpa", dse::Distribution::Uniform, 500.0, 400.0, 600.0},
+        {"yield", dse::Distribution::Triangular, 0.875, 0.6, 0.95},
+    };
+    for (auto _ : state) {
+        const auto result = dse::monteCarlo(
+            parameters,
+            [](const std::vector<double> &v) {
+                return (v[0] * v[1] + v[2] + v[3]) / v[4];
+            },
+            100'000);
+        benchmark::DoNotOptimize(result.p95);
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+    util::setThreadCount(0);
+}
+BENCHMARK(BM_MonteCarlo)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/** Fig. 12-class NPU design-space walk across nodes, 1/4/8 threads. */
+void
+BM_NpuDesignSpaceWalk(benchmark::State &state)
+{
+    util::setThreadCount(static_cast<std::size_t>(state.range(0)));
+    const accel::NpuModel model;
+    const core::FabParams fab;
+    for (auto _ : state) {
+        double total = 0.0;
+        for (double node : {28.0, 20.0, 16.0, 10.0, 7.0, 5.0, 3.0}) {
+            for (const auto &entry :
+                 accel::sweepDesignSpace(model, node, fab))
+                total += entry.embodied.value();
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    util::setThreadCount(0);
+}
+BENCHMARK(BM_NpuDesignSpaceWalk)->Arg(1)->Arg(4)->Arg(8);
 
 void
 BM_NpuEvaluation(benchmark::State &state)

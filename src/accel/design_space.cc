@@ -1,6 +1,7 @@
 #include "accel/design_space.h"
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace act::accel {
@@ -23,20 +24,24 @@ std::vector<SweepEntry>
 sweepDesignSpace(const NpuModel &model, const Network &network,
                  double node_nm, const core::FabParams &fab)
 {
-    std::vector<SweepEntry> entries;
-    for (int macs : macSweep()) {
+    // Each MAC configuration evaluates independently; fill pre-sized
+    // slots on the pool so sweep order stays the paper's order.
+    const std::vector<int> macs_sweep = macSweep();
+    std::vector<SweepEntry> entries(macs_sweep.size());
+    util::parallelFor(0, macs_sweep.size(), 1, [&](std::size_t i) {
         SweepEntry entry;
-        const NpuConfig config{macs, node_nm};
+        const NpuConfig config{macs_sweep[i], node_nm};
         entry.evaluation = model.evaluate(network, config);
         entry.embodied = model.embodied(config, fab);
 
-        entry.design_point.name = std::to_string(macs) + " MACs";
+        entry.design_point.name =
+            std::to_string(macs_sweep[i]) + " MACs";
         entry.design_point.embodied = entry.embodied;
         entry.design_point.energy = entry.evaluation.energy_per_frame;
         entry.design_point.delay = entry.evaluation.latency;
         entry.design_point.area = entry.evaluation.area;
-        entries.push_back(std::move(entry));
-    }
+        entries[i] = std::move(entry);
+    });
     return entries;
 }
 

@@ -1,0 +1,188 @@
+#include "core/cpa_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace act::core {
+
+CpaCache::CpaCache()
+{
+    for (NumericShard &shard : numeric_shards_)
+        shard.table.store(new NumericTable(kInitialCapacity),
+                          std::memory_order_release);
+    if (const char *env = std::getenv("ACT_CPA_CACHE")) {
+        if (std::strcmp(env, "0") == 0)
+            enabled_.store(false, std::memory_order_relaxed);
+    }
+}
+
+CpaCache::~CpaCache()
+{
+    for (NumericShard &shard : numeric_shards_)
+        delete shard.table.load(std::memory_order_acquire);
+}
+
+CpaCache &
+CpaCache::instance()
+{
+    static CpaCache cache;
+    return cache;
+}
+
+std::size_t
+CpaCache::NamedKeyHash::operator()(const NamedKey &key) const
+{
+    std::uint64_t h = key.ci_fab * 0x9E3779B97F4A7C15ULL;
+    h ^= key.abatement * 0xC2B2AE3D27D4EB4FULL;
+    h ^= key.yield * 0x165667B19E3779F9ULL;
+    h ^= key.lookup * 0x27D4EB2F165667C5ULL;
+    h ^= std::hash<std::string>{}(key.name);
+    return static_cast<std::size_t>(mix64(h));
+}
+
+void
+CpaCache::storeNumeric(const NumericKey &key, std::uint64_t hash,
+                       double value)
+{
+    NumericShard &shard = numeric_shards_[hash % kShards];
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    const NumericTable *current =
+        shard.table.load(std::memory_order_relaxed);
+
+    // A racing writer may have inserted this key after our probe.
+    {
+        std::size_t index = hash & current->mask;
+        while (current->slots[index].used) {
+            if (current->slots[index].key == key)
+                return;
+            index = (index + 1) & current->mask;
+        }
+    }
+
+    // Copy-on-write: rebuild at <= 50% load, insert, publish.
+    const std::size_t capacity = (current->count + 1) * 2 >
+                                         current->mask + 1
+                                     ? (current->mask + 1) * 2
+                                     : current->mask + 1;
+    auto fresh = std::make_unique<NumericTable>(capacity);
+    const auto insert = [&fresh](const NumericKey &k, double v) {
+        std::size_t index = hashNumeric(k) & fresh->mask;
+        while (fresh->slots[index].used)
+            index = (index + 1) & fresh->mask;
+        fresh->slots[index].key = k;
+        fresh->slots[index].value = v;
+        fresh->slots[index].used = true;
+        ++fresh->count;
+    };
+    for (const NumericTable::Slot &slot : current->slots) {
+        if (slot.used)
+            insert(slot.key, slot.value);
+    }
+    insert(key, value);
+
+    shard.table.store(fresh.release(), std::memory_order_release);
+    shard.retired.emplace_back(current);
+}
+
+const double *
+CpaCache::findNamed(const FabParams &fab,
+                    std::string_view node_name) const
+{
+    NamedKey key;
+    key.ci_fab = std::bit_cast<std::uint64_t>(fab.ci_fab.value());
+    key.abatement = std::bit_cast<std::uint64_t>(fab.abatement);
+    key.yield = std::bit_cast<std::uint64_t>(fab.yield);
+    key.lookup = static_cast<std::uint64_t>(fab.lookup);
+    key.name = std::string(node_name);
+
+    const NamedShard &shard =
+        named_shards_[NamedKeyHash{}(key) % kShards];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto found = shard.entries.find(key);
+    return found != shard.entries.end() ? &found->second : nullptr;
+}
+
+void
+CpaCache::storeNamed(const FabParams &fab, std::string_view node_name,
+                     double value)
+{
+    NamedKey key;
+    key.ci_fab = std::bit_cast<std::uint64_t>(fab.ci_fab.value());
+    key.abatement = std::bit_cast<std::uint64_t>(fab.abatement);
+    key.yield = std::bit_cast<std::uint64_t>(fab.yield);
+    key.lookup = static_cast<std::uint64_t>(fab.lookup);
+    key.name = std::string(node_name);
+
+    NamedShard &shard = named_shards_[NamedKeyHash{}(key) % kShards];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries.emplace(std::move(key), value);
+}
+
+void
+CpaCache::clear()
+{
+    for (NumericShard &shard : numeric_shards_) {
+        std::lock_guard<std::mutex> lock(shard.write_mutex);
+        const NumericTable *current =
+            shard.table.load(std::memory_order_relaxed);
+        shard.table.store(new NumericTable(kInitialCapacity),
+                          std::memory_order_release);
+        shard.retired.emplace_back(current);
+    }
+    for (NamedShard &shard : named_shards_) {
+        std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        shard.entries.clear();
+    }
+}
+
+void
+CpaCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    for (const auto &counters : counters_) {
+        counters->hits.store(0, std::memory_order_relaxed);
+        counters->misses.store(0, std::memory_order_relaxed);
+    }
+}
+
+CpaCacheStats
+CpaCache::stats() const
+{
+    CpaCacheStats stats;
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    for (const auto &counters : counters_) {
+        stats.hits +=
+            counters->hits.load(std::memory_order_relaxed);
+        stats.misses +=
+            counters->misses.load(std::memory_order_relaxed);
+    }
+    return stats;
+}
+
+std::size_t
+CpaCache::size() const
+{
+    std::size_t total = 0;
+    for (const NumericShard &shard : numeric_shards_) {
+        total += shard.table.load(std::memory_order_acquire)->count;
+    }
+    for (const NamedShard &shard : named_shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+void
+CpaCache::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+CpaCache::enabled() const
+{
+    return enabled_.load(std::memory_order_relaxed);
+}
+
+} // namespace act::core

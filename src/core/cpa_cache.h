@@ -1,0 +1,309 @@
+/**
+ * @file
+ * A thread-safe memoization cache in front of the Eq. 5 carbon-per-area
+ * computation. DSE sweeps (Fig. 8/12/13, Monte Carlo, tornado) evaluate
+ * the CPA model for the same (fab conditions, node) point thousands to
+ * millions of times; the underlying table interpolation is pure, so the
+ * result can be cached on a fingerprint of the FabParams plus the node.
+ *
+ * Hot-path design: numeric (fab, nm) lookups read an *immutable*
+ * open-addressed table through one atomic pointer load -- no locks, no
+ * reference counting, no allocation -- so a hit costs a hash plus a
+ * probe. Writers copy the table, insert, and publish the new version
+ * under a per-shard mutex (copy-on-write); superseded tables are
+ * retired, not freed, so concurrent readers stay valid. Named Table 7
+ * lookups are rarer and use a shared_mutex map per shard. Keys compare
+ * *exactly* (bitwise on the doubles), so a hit is guaranteed to return
+ * the same value the uncached computation would -- never an
+ * approximation.
+ *
+ * Hit/miss counters are kept in single-writer thread-local slots and
+ * summed on demand, keeping the fast path free of contended atomics.
+ *
+ * Disable with `ACT_CPA_CACHE=0` in the environment or
+ * `CpaCache::instance().setEnabled(false)` (e.g. when benchmarking the
+ * raw model). clear() and resetStats() may run concurrently with
+ * lookups; entries/counters populated during the call may survive it.
+ */
+
+#ifndef ACT_CORE_CPA_CACHE_H
+#define ACT_CORE_CPA_CACHE_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/fab_params.h"
+#include "util/units.h"
+
+namespace act::core {
+
+/** Cumulative cache effectiveness counters. */
+struct CpaCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(total);
+    }
+};
+
+/** Process-wide memoization cache for carbonPerArea[Named](). */
+class CpaCache
+{
+  public:
+    static CpaCache &instance();
+
+    /**
+     * CPA for (fab, nm), computing via @p compute on a miss. The
+     * computed value is cached under the exact fab fingerprint; any
+     * fatal inside @p compute (bad yield, out-of-range node) fires
+     * before anything is cached.
+     */
+    template <typename Compute>
+    util::CarbonPerArea
+    lookup(const FabParams &fab, double nm, Compute &&compute)
+    {
+        if (!enabled_.load(std::memory_order_relaxed))
+            return compute();
+        const NumericKey key = numericKey(fab, nm);
+        const std::uint64_t hash = hashNumeric(key);
+        if (const double *found = findNumeric(key, hash)) {
+            countHit();
+            return util::gramsPerCm2(*found);
+        }
+        const util::CarbonPerArea value = compute();
+        countMiss();
+        storeNumeric(key, hash, value.value());
+        return value;
+    }
+
+    /** As lookup(), keyed on a named Table 7 node label instead. */
+    template <typename Compute>
+    util::CarbonPerArea
+    lookupNamed(const FabParams &fab, std::string_view node_name,
+                Compute &&compute)
+    {
+        if (!enabled_.load(std::memory_order_relaxed))
+            return compute();
+        if (const double *found = findNamed(fab, node_name)) {
+            countHit();
+            return util::gramsPerCm2(*found);
+        }
+        const util::CarbonPerArea value = compute();
+        countMiss();
+        storeNamed(fab, node_name, value.value());
+        return value;
+    }
+
+    /** Drop every cached entry (counters are kept). */
+    void clear();
+
+    /** Reset the hit/miss counters (entries are kept). */
+    void resetStats();
+
+    CpaCacheStats stats() const;
+
+    /** Number of currently cached CPA points. */
+    std::size_t size() const;
+
+    void setEnabled(bool enabled);
+    bool enabled() const;
+
+  private:
+    /** Bitwise FabParams fingerprint plus the queried feature size. */
+    struct NumericKey
+    {
+        std::uint64_t ci_fab = 0;
+        std::uint64_t abatement = 0;
+        std::uint64_t yield = 0;
+        std::uint64_t lookup = 0;
+        std::uint64_t nm = 0;
+
+        bool operator==(const NumericKey &) const = default;
+    };
+
+    /** Fingerprint plus a Table 7 row label. */
+    struct NamedKey
+    {
+        std::uint64_t ci_fab = 0;
+        std::uint64_t abatement = 0;
+        std::uint64_t yield = 0;
+        std::uint64_t lookup = 0;
+        std::string name;
+
+        bool operator==(const NamedKey &) const = default;
+    };
+
+    struct NamedKeyHash
+    {
+        std::size_t operator()(const NamedKey &key) const;
+    };
+
+    /** Immutable once published; readers probe without locks. */
+    struct NumericTable
+    {
+        struct Slot
+        {
+            NumericKey key;
+            double value = 0.0;
+            bool used = false;
+        };
+
+        explicit NumericTable(std::size_t capacity)
+            : slots(capacity), mask(capacity - 1)
+        {}
+
+        std::vector<Slot> slots;
+        std::size_t mask;
+        std::size_t count = 0;
+    };
+
+    struct NumericShard
+    {
+        std::atomic<const NumericTable *> table{nullptr};
+        std::mutex write_mutex;
+        // Superseded versions, kept so in-flight readers stay valid.
+        std::vector<std::unique_ptr<const NumericTable>> retired;
+    };
+
+    struct NamedShard
+    {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<NamedKey, double, NamedKeyHash> entries;
+    };
+
+    /** Single-writer counters, one slot per thread that ever looked
+     *  anything up; stats() sums every registered slot. */
+    struct Counters
+    {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+    };
+
+    static constexpr std::size_t kShards = 16;
+    static constexpr std::size_t kInitialCapacity = 32;
+
+    CpaCache();
+    ~CpaCache();
+
+    static NumericKey
+    numericKey(const FabParams &fab, double nm)
+    {
+        NumericKey key;
+        key.ci_fab = std::bit_cast<std::uint64_t>(fab.ci_fab.value());
+        key.abatement = std::bit_cast<std::uint64_t>(fab.abatement);
+        key.yield = std::bit_cast<std::uint64_t>(fab.yield);
+        key.lookup = static_cast<std::uint64_t>(fab.lookup);
+        key.nm = std::bit_cast<std::uint64_t>(nm);
+        return key;
+    }
+
+    /** SplitMix64 finalizer: the mixer behind every hash here. */
+    static std::uint64_t
+    mix64(std::uint64_t x)
+    {
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ULL;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBULL;
+        x ^= x >> 31;
+        return x;
+    }
+
+    static std::uint64_t
+    hashNumeric(const NumericKey &key)
+    {
+        // Independent multiplies (instruction-level parallel, unlike
+        // a chained mixer) folded by one finalizer round: the hit
+        // path runs this on every carbonPerArea() call.
+        std::uint64_t h = key.ci_fab * 0x9E3779B97F4A7C15ULL;
+        h ^= key.abatement * 0xC2B2AE3D27D4EB4FULL;
+        h ^= key.yield * 0x165667B19E3779F9ULL;
+        h ^= (key.lookup ^ key.nm) * 0x27D4EB2F165667C5ULL;
+        return mix64(h);
+    }
+
+    const double *
+    findNumeric(const NumericKey &key, std::uint64_t hash) const
+    {
+        const NumericShard &shard = numeric_shards_[hash % kShards];
+        const NumericTable *table =
+            shard.table.load(std::memory_order_acquire);
+        std::size_t index = hash & table->mask;
+        while (table->slots[index].used) {
+            if (table->slots[index].key == key)
+                return &table->slots[index].value;
+            index = (index + 1) & table->mask;
+        }
+        return nullptr;
+    }
+
+    void storeNumeric(const NumericKey &key, std::uint64_t hash,
+                      double value);
+
+    const double *findNamed(const FabParams &fab,
+                            std::string_view node_name) const;
+    void storeNamed(const FabParams &fab, std::string_view node_name,
+                    double value);
+
+    Counters &
+    localCounters()
+    {
+        // Trivially-initialized thread_local: no init guard on the
+        // fast path. The registry's shared_ptr keeps the slot alive
+        // after the owning thread exits, so stats() stays safe.
+        thread_local Counters *cached = nullptr;
+        if (cached == nullptr) {
+            auto created = std::make_shared<Counters>();
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            counters_.push_back(created);
+            cached = created.get();
+        }
+        return *cached;
+    }
+
+    void
+    countHit()
+    {
+        Counters &counters = localCounters();
+        counters.hits.store(
+            counters.hits.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+    }
+    void
+    countMiss()
+    {
+        Counters &counters = localCounters();
+        counters.misses.store(
+            counters.misses.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+    }
+
+    NumericShard numeric_shards_[kShards];
+    NamedShard named_shards_[kShards];
+
+    mutable std::mutex counters_mutex_;
+    std::vector<std::shared_ptr<Counters>> counters_;
+
+    std::atomic<bool> enabled_{true};
+};
+
+} // namespace act::core
+
+#endif // ACT_CORE_CPA_CACHE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/cpa_cache.h"
 #include "util/interp.h"
 #include "util/logging.h"
 
@@ -34,10 +35,8 @@ cpaFromIntensities(const FabParams &fab, util::EnergyPerArea epa,
     return numerator / fab.yield;
 }
 
-} // namespace
-
 CarbonPerArea
-carbonPerArea(const FabParams &fab, double nm)
+computeCarbonPerArea(const FabParams &fab, double nm)
 {
     const data::FabDatabase &db = data::FabDatabase::instance();
     return cpaFromIntensities(fab, db.epa(nm, fab.lookup),
@@ -45,7 +44,8 @@ carbonPerArea(const FabParams &fab, double nm)
 }
 
 CarbonPerArea
-carbonPerAreaNamed(const FabParams &fab, std::string_view node_name)
+computeCarbonPerAreaNamed(const FabParams &fab,
+                          std::string_view node_name)
 {
     const data::FabDatabase &db = data::FabDatabase::instance();
     const auto record = db.findByName(node_name);
@@ -57,6 +57,23 @@ carbonPerAreaNamed(const FabParams &fab, std::string_view node_name)
         0.0, util::lerp(record->gpa_abated_95.value(),
                         record->gpa_abated_99.value(), t)));
     return cpaFromIntensities(fab, record->epa, gpa);
+}
+
+} // namespace
+
+CarbonPerArea
+carbonPerArea(const FabParams &fab, double nm)
+{
+    return CpaCache::instance().lookup(
+        fab, nm, [&] { return computeCarbonPerArea(fab, nm); });
+}
+
+CarbonPerArea
+carbonPerAreaNamed(const FabParams &fab, std::string_view node_name)
+{
+    return CpaCache::instance().lookupNamed(fab, node_name, [&] {
+        return computeCarbonPerAreaNamed(fab, node_name);
+    });
 }
 
 Mass

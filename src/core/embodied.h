@@ -34,12 +34,15 @@ constexpr util::Mass kPackagingFootprint = util::grams(150.0);
 /**
  * Eq. 5: carbon per unit area manufactured for a logic die at feature
  * size @p nm under fab conditions @p fab. Fatal outside [3, 28] nm.
+ * Results are memoized process-wide (see core/cpa_cache.h); a cache
+ * hit is bitwise identical to recomputation.
  */
 util::CarbonPerArea carbonPerArea(const FabParams &fab, double nm);
 
 /**
  * CPA for a named Table 7 node label (resolving the EUV variants), at
- * the given fab conditions. Fatal on unknown labels.
+ * the given fab conditions. Fatal on unknown labels. Memoized like
+ * carbonPerArea().
  */
 util::CarbonPerArea carbonPerAreaNamed(const FabParams &fab,
                                        std::string_view node_name);

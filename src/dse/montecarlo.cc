@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace act::dse {
@@ -56,20 +57,46 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
                         "' has an empty range");
     }
 
-    util::Xorshift64Star rng(seed);
-    std::vector<double> values(parameters.size());
+    // Fixed-size chunks, each drawing from its own derived RNG stream:
+    // which samples land in which chunk -- and which stream produced
+    // them -- depends only on (samples, seed), so any thread count
+    // (including the serial fallback) yields bit-identical results.
+    struct Partial
+    {
+        std::vector<double> outputs;
+        double sum = 0.0;
+        double sum_squares = 0.0;
+    };
+    const std::vector<util::IndexRange> chunks =
+        util::staticChunks(0, samples, kMonteCarloChunk);
+    std::vector<Partial> partials(chunks.size());
+    util::runChunks(chunks, [&](std::size_t chunk,
+                                util::IndexRange range) {
+        util::Xorshift64Star rng(util::deriveSeed(seed, chunk));
+        std::vector<double> values(parameters.size());
+        Partial partial;
+        partial.outputs.reserve(range.size());
+        for (std::size_t s = range.begin; s < range.end; ++s) {
+            for (std::size_t i = 0; i < parameters.size(); ++i)
+                values[i] = sampleParameter(parameters[i], rng);
+            const double output = model(values);
+            partial.outputs.push_back(output);
+            partial.sum += output;
+            partial.sum_squares += output * output;
+        }
+        partials[chunk] = std::move(partial);
+    });
+
+    // Ordered reduction over the chunk-indexed partials.
     std::vector<double> outputs;
     outputs.reserve(samples);
-
     double sum = 0.0;
     double sum_squares = 0.0;
-    for (std::size_t s = 0; s < samples; ++s) {
-        for (std::size_t i = 0; i < parameters.size(); ++i)
-            values[i] = sampleParameter(parameters[i], rng);
-        const double output = model(values);
-        outputs.push_back(output);
-        sum += output;
-        sum_squares += output * output;
+    for (Partial &partial : partials) {
+        outputs.insert(outputs.end(), partial.outputs.begin(),
+                       partial.outputs.end());
+        sum += partial.sum;
+        sum_squares += partial.sum_squares;
     }
 
     std::sort(outputs.begin(), outputs.end());

@@ -49,9 +49,22 @@ struct MonteCarloResult
 };
 
 /**
+ * Samples per independent RNG stream: the sweep is split into fixed
+ * chunks of this many samples, and chunk c draws from the stream
+ * seeded util::deriveSeed(seed, c). Chunk layout depends only on the
+ * sample count, so the sampled distribution -- and every statistic
+ * below -- is bit-identical for any thread count.
+ */
+inline constexpr std::size_t kMonteCarloChunk = 2048;
+
+/**
  * Run @p samples joint evaluations of @p model, sampling each input
- * from its distribution. Deterministic for a fixed seed. Fatal on an
- * empty parameter list, fewer than 100 samples, or inverted ranges.
+ * from its distribution. Chunks execute on the util/parallel.h pool
+ * (honoring ACT_THREADS / util::setThreadCount), and @p model must be
+ * thread-safe. Deterministic for a fixed seed and independent of the
+ * thread count via per-chunk derived RNG streams with ordered
+ * reduction. Fatal on an empty parameter list, fewer than 100 samples,
+ * or inverted ranges.
  */
 MonteCarloResult
 monteCarlo(const std::vector<UncertainParameter> &parameters,

@@ -1,6 +1,7 @@
 #include "dse/scoreboard.h"
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace act::dse {
 
@@ -13,7 +14,12 @@ Scoreboard::Scoreboard(std::vector<core::DesignPoint> designs,
     if (baseline_index >= designs_.size())
         util::fatal("Scoreboard baseline index out of range");
 
-    for (core::Metric metric : core::allMetrics()) {
+    // Metric columns are independent of each other; fill pre-sized
+    // slots on the pool so column order stays Table 2 order.
+    const auto metrics = core::allMetrics();
+    columns_.resize(metrics.size());
+    util::parallelFor(0, metrics.size(), 1, [&](std::size_t m) {
+        const core::Metric metric = metrics[m];
         MetricColumn column;
         column.metric = metric;
         column.values.reserve(designs_.size());
@@ -22,8 +28,8 @@ Scoreboard::Scoreboard(std::vector<core::DesignPoint> designs,
         column.normalized =
             core::normalizedMetric(metric, designs_, baseline_index);
         column.best_index = core::bestDesign(metric, designs_);
-        columns_.push_back(std::move(column));
-    }
+        columns_[m] = std::move(column);
+    });
 }
 
 const MetricColumn &

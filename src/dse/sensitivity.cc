@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace act::dse {
 
@@ -25,9 +26,12 @@ tornado(const std::vector<ParameterRange> &parameters,
     for (const auto &parameter : parameters)
         baseline.push_back(parameter.baseline);
 
-    std::vector<TornadoEntry> entries;
-    entries.reserve(parameters.size());
-    for (std::size_t i = 0; i < parameters.size(); ++i) {
+    // Each parameter's low/high pair is independent; evaluate them on
+    // the pool into pre-sized slots, then rank. The pre-sort order is
+    // the parameter order regardless of thread count, so ties rank
+    // identically in serial and parallel runs.
+    std::vector<TornadoEntry> entries(parameters.size());
+    util::parallelFor(0, parameters.size(), 1, [&](std::size_t i) {
         std::vector<double> values = baseline;
         TornadoEntry entry;
         entry.name = parameters[i].name;
@@ -35,13 +39,13 @@ tornado(const std::vector<ParameterRange> &parameters,
         entry.output_low = model(values);
         values[i] = parameters[i].high;
         entry.output_high = model(values);
-        entries.push_back(std::move(entry));
-    }
+        entries[i] = std::move(entry);
+    });
 
-    std::sort(entries.begin(), entries.end(),
-              [](const TornadoEntry &a, const TornadoEntry &b) {
-                  return a.swing() > b.swing();
-              });
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const TornadoEntry &a, const TornadoEntry &b) {
+                         return a.swing() > b.swing();
+                     });
     return entries;
 }
 

@@ -1,5 +1,7 @@
 #include "mobile/platform.h"
 
+#include "util/parallel.h"
+
 namespace act::mobile {
 
 using util::Duration;
@@ -45,9 +47,13 @@ designPoint(const data::SocRecord &soc, const core::FabParams &fab)
 std::vector<core::DesignPoint>
 mobileDesignSpace(const core::FabParams &fab)
 {
-    std::vector<core::DesignPoint> points;
-    for (const auto &soc : data::SocDatabase::instance().records())
-        points.push_back(designPoint(soc, fab));
+    // Each SoC evaluates independently; fill pre-sized slots on the
+    // pool so the result keeps database order for any thread count.
+    const auto records = data::SocDatabase::instance().records();
+    std::vector<core::DesignPoint> points(records.size());
+    util::parallelFor(0, records.size(), 1, [&](std::size_t i) {
+        points[i] = designPoint(records[i], fab);
+    });
     return points;
 }
 

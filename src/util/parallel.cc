@@ -1,0 +1,237 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace act::util {
+
+namespace {
+
+/** Set while the current thread is executing pool work, so nested
+ *  parallel sections fall back to serial execution. */
+thread_local bool tls_in_pool_worker = false;
+
+std::atomic<std::size_t> g_thread_override{0};
+
+std::size_t
+autoThreadCount()
+{
+    // Parse ACT_THREADS once; the hardware count is the fallback.
+    static const std::size_t resolved = [] {
+        if (const char *env = std::getenv("ACT_THREADS")) {
+            char *tail = nullptr;
+            const unsigned long parsed = std::strtoul(env, &tail, 10);
+            if (tail != env && *tail == '\0' && parsed >= 1)
+                return static_cast<std::size_t>(parsed);
+            warn("ignoring malformed ACT_THREADS value '",
+                 std::string(env), "'");
+        }
+        const unsigned hardware = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hardware >= 1 ? hardware : 1);
+    }();
+    return resolved;
+}
+
+/**
+ * Lazily-started shared worker pool. Jobs are generation-stamped; the
+ * submitting thread participates in draining the task counter, so a
+ * pool with N workers executes a job on up to N + 1 threads.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    void
+    run(std::size_t tasks,
+        const std::function<void(std::size_t)> &task)
+    {
+        // One job at a time: concurrent submitters queue up here and
+        // each runs its job to completion before the next starts.
+        std::lock_guard<std::mutex> submission(submit_mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        // One helper per task beyond the one the caller runs itself.
+        ensureWorkers(std::min(threadCount() - 1, tasks - 1));
+        job_ = &task;
+        task_count_ = tasks;
+        next_task_.store(0, std::memory_order_relaxed);
+        completed_.store(0, std::memory_order_relaxed);
+        ++generation_;
+        lock.unlock();
+        work_ready_.notify_all();
+
+        drain(task, tasks);
+
+        lock.lock();
+        job_done_.wait(lock, [&] {
+            return completed_.load(std::memory_order_acquire) ==
+                   task_count_;
+        });
+        job_ = nullptr;
+    }
+
+  private:
+    ThreadPool() = default;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        work_ready_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    }
+
+    /** Pull task indices until the counter runs dry. */
+    void
+    drain(const std::function<void(std::size_t)> &task,
+          std::size_t tasks)
+    {
+        for (;;) {
+            const std::size_t index =
+                next_task_.fetch_add(1, std::memory_order_relaxed);
+            if (index >= tasks)
+                break;
+            task(index);
+            finishOne(tasks);
+        }
+    }
+
+    void
+    finishOne(std::size_t tasks)
+    {
+        if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            tasks) {
+            // Lock before notifying so the submitter cannot miss the
+            // wakeup between its predicate check and its sleep.
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_done_.notify_all();
+        }
+    }
+
+    void
+    ensureWorkers(std::size_t want)
+    {
+        while (workers_.size() < want)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    workerLoop()
+    {
+        tls_in_pool_worker = true;
+        std::size_t seen_generation = 0;
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            work_ready_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_)
+                return;
+            seen_generation = generation_;
+            const std::function<void(std::size_t)> *task = job_;
+            const std::size_t tasks = task_count_;
+            lock.unlock();
+            drain(*task, tasks);
+            lock.lock();
+        }
+    }
+
+    std::mutex submit_mutex_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable job_done_;
+    std::vector<std::thread> workers_;
+    bool shutdown_ = false;
+
+    // Current job, guarded by mutex_ for publication and stamped by
+    // generation_ so idle workers only pick it up once.
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t task_count_ = 0;
+    std::size_t generation_ = 0;
+    std::atomic<std::size_t> next_task_{0};
+    std::atomic<std::size_t> completed_{0};
+};
+
+} // namespace
+
+std::size_t
+threadCount()
+{
+    const std::size_t override =
+        g_thread_override.load(std::memory_order_relaxed);
+    return override != 0 ? override : autoThreadCount();
+}
+
+void
+setThreadCount(std::size_t count)
+{
+    g_thread_override.store(count, std::memory_order_relaxed);
+}
+
+std::vector<IndexRange>
+staticChunks(std::size_t begin, std::size_t end, std::size_t grain)
+{
+    if (begin > end)
+        panic("staticChunks() with begin ", begin, " > end ", end);
+    const std::size_t total = end - begin;
+    if (total == 0)
+        return {};
+    if (grain == 0) {
+        // Automatic grain: a fixed fan-out as a function of the range
+        // size only -- never of the thread count -- so that chunk
+        // boundaries (and thus reduction order) are reproducible on
+        // any machine and with any ACT_THREADS setting.
+        constexpr std::size_t kAutoChunkTarget = 64;
+        grain = std::max<std::size_t>(
+            1, (total + kAutoChunkTarget - 1) / kAutoChunkTarget);
+    }
+    std::vector<IndexRange> chunks;
+    chunks.reserve((total + grain - 1) / grain);
+    for (std::size_t start = begin; start < end; start += grain)
+        chunks.push_back({start, std::min(start + grain, end)});
+    return chunks;
+}
+
+void
+runChunks(const std::vector<IndexRange> &chunks,
+          const std::function<void(std::size_t, IndexRange)> &body)
+{
+    if (chunks.empty())
+        return;
+    if (chunks.size() == 1 || threadCount() <= 1 ||
+        tls_in_pool_worker) {
+        for (std::size_t chunk = 0; chunk < chunks.size(); ++chunk)
+            body(chunk, chunks[chunk]);
+        return;
+    }
+    ThreadPool::instance().run(chunks.size(), [&](std::size_t chunk) {
+        body(chunk, chunks[chunk]);
+    });
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            const std::function<void(std::size_t)> &body)
+{
+    runChunks(staticChunks(begin, end, grain),
+              [&](std::size_t, IndexRange range) {
+                  for (std::size_t i = range.begin; i < range.end; ++i)
+                      body(i);
+              });
+}
+
+} // namespace act::util

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small, dependency-free deterministic parallel execution layer for
+ * the DSE hot loops (Monte Carlo, tornado sweeps, design-space
+ * evaluation, scoreboard construction).
+ *
+ * Design contract -- determinism first:
+ *  - Work is split into *static* chunks whose boundaries depend only on
+ *    the iteration range and grain, never on the thread count. Threads
+ *    pull chunks dynamically, but which chunk produced which result is
+ *    fixed, so `parallelMapReduce` can reduce partial results in chunk
+ *    order and return bit-identical output for any thread count
+ *    (including 1, the serial fallback).
+ *  - The thread pool is lazily started on first parallel call and is
+ *    shared process-wide. Nested parallel calls from inside a pool
+ *    worker degrade to serial execution rather than deadlocking.
+ *  - The worker count resolves as: programmatic override
+ *    (`setThreadCount`) > `ACT_THREADS` environment variable >
+ *    `std::thread::hardware_concurrency()`.
+ *
+ * Bodies passed to these functions run concurrently and must be
+ * thread-safe (pure functions over disjoint output slots are the
+ * intended usage).
+ */
+
+#ifndef ACT_UTIL_PARALLEL_H
+#define ACT_UTIL_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace act::util {
+
+/**
+ * Effective worker count for parallel sections: the `setThreadCount`
+ * override when set, else `ACT_THREADS` (parsed once), else the
+ * hardware concurrency; always at least 1.
+ */
+std::size_t threadCount();
+
+/**
+ * Override the worker count for subsequent parallel sections. Pass 0 to
+ * restore automatic resolution (ACT_THREADS / hardware concurrency).
+ * Thread-safe; existing pool workers are retained but idle when the
+ * count shrinks.
+ */
+void setThreadCount(std::size_t count);
+
+/** A half-open index range [begin, end). */
+struct IndexRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+};
+
+/**
+ * Split [begin, end) into consecutive chunks of @p grain indices (the
+ * last chunk may be short). With grain 0 an automatic grain is chosen
+ * as a function of the range size only, so chunk boundaries -- and
+ * therefore reduction order -- never depend on the thread count.
+ */
+std::vector<IndexRange> staticChunks(std::size_t begin, std::size_t end,
+                                     std::size_t grain);
+
+/**
+ * Invoke @p body(chunk_index, range) once per chunk, distributing
+ * chunks over the pool. Blocks until every chunk completed. Runs
+ * serially when the effective thread count is 1, the range has a single
+ * chunk, or the caller is itself a pool worker.
+ */
+void runChunks(const std::vector<IndexRange> &chunks,
+               const std::function<void(std::size_t, IndexRange)> &body);
+
+/**
+ * Parallel for over [begin, end): @p body(i) for every index, grouped
+ * into static chunks of @p grain (0 = automatic). No ordering between
+ * iterations; @p body must be thread-safe.
+ */
+void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * Deterministic map/reduce over static chunks: @p map(range) produces
+ * one partial result per chunk (chunks run concurrently), then
+ * @p reduce folds the partials *in chunk order* on the calling thread:
+ *
+ *   acc = reduce(reduce(reduce(init, m0), m1), m2) ...
+ *
+ * Because chunk boundaries and reduction order are thread-count
+ * independent, the result is bit-identical for every thread count.
+ */
+template <typename T, typename Map, typename Reduce>
+T
+parallelMapReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  Map &&map, Reduce &&reduce, T init = T{})
+{
+    const std::vector<IndexRange> chunks =
+        staticChunks(begin, end, grain);
+    std::vector<T> partial(chunks.size());
+    runChunks(chunks, [&](std::size_t chunk, IndexRange range) {
+        partial[chunk] = map(range);
+    });
+    T accumulator = std::move(init);
+    for (T &part : partial)
+        accumulator = reduce(std::move(accumulator), std::move(part));
+    return accumulator;
+}
+
+} // namespace act::util
+
+#endif // ACT_UTIL_PARALLEL_H

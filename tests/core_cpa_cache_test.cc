@@ -1,0 +1,164 @@
+/** @file Tests for the carbon-per-area memoization cache. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cpa_cache.h"
+#include "core/embodied.h"
+#include "data/fab_db.h"
+#include "util/parallel.h"
+
+namespace act::core {
+namespace {
+
+/** Clear cache state around every test so counters are meaningful. */
+class CpaCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CpaCache::instance().setEnabled(true);
+        CpaCache::instance().clear();
+        CpaCache::instance().resetStats();
+    }
+
+    void
+    TearDown() override
+    {
+        CpaCache::instance().setEnabled(true);
+        CpaCache::instance().clear();
+        util::setThreadCount(0);
+    }
+};
+
+std::vector<FabParams>
+fabVariants()
+{
+    std::vector<FabParams> fabs;
+    for (const double abatement : {0.90, 0.95, 0.97, 0.99}) {
+        FabParams fab;
+        fab.abatement = abatement;
+        fabs.push_back(fab);
+
+        FabParams renewable = FabParams::renewable();
+        renewable.abatement = abatement;
+        fabs.push_back(renewable);
+    }
+    FabParams nearest;
+    nearest.lookup = data::NodeLookup::NearestAnchor;
+    fabs.push_back(nearest);
+    return fabs;
+}
+
+TEST_F(CpaCacheTest, CachedEqualsUncachedAcrossNodesAndAbatement)
+{
+    CpaCache &cache = CpaCache::instance();
+    for (const FabParams &fab : fabVariants()) {
+        for (double nm = data::FabDatabase::kMinNode;
+             nm <= data::FabDatabase::kMaxNode; nm += 0.5) {
+            const double cached = carbonPerArea(fab, nm).value();
+
+            cache.setEnabled(false);
+            const double uncached = carbonPerArea(fab, nm).value();
+            cache.setEnabled(true);
+
+            EXPECT_EQ(cached, uncached)
+                << "nm=" << nm << " abatement=" << fab.abatement;
+
+            // A second cached query must hit and agree exactly.
+            const auto before = cache.stats();
+            EXPECT_EQ(carbonPerArea(fab, nm).value(), uncached);
+            EXPECT_EQ(cache.stats().hits, before.hits + 1);
+        }
+    }
+}
+
+TEST_F(CpaCacheTest, CachedEqualsUncachedForNamedNodes)
+{
+    CpaCache &cache = CpaCache::instance();
+    const FabParams fab;
+    for (const auto &record : data::FabDatabase::instance().records()) {
+        const double cached =
+            carbonPerAreaNamed(fab, record.name).value();
+        cache.setEnabled(false);
+        const double uncached =
+            carbonPerAreaNamed(fab, record.name).value();
+        cache.setEnabled(true);
+        EXPECT_EQ(cached, uncached) << record.name;
+    }
+}
+
+TEST_F(CpaCacheTest, DistinctFabFingerprintsDoNotCollide)
+{
+    FabParams low_yield;
+    low_yield.yield = 0.6;
+    const double base = carbonPerArea(FabParams{}, 7.0).value();
+    const double low = carbonPerArea(low_yield, 7.0).value();
+    EXPECT_NE(base, low);
+    // Yield enters Eq. 5 as 1/Y; check the cached values kept that.
+    EXPECT_NEAR(low / base, FabParams{}.yield / 0.6, 1e-12);
+}
+
+TEST_F(CpaCacheTest, CountersTrackHitsAndMisses)
+{
+    CpaCache &cache = CpaCache::instance();
+    const FabParams fab;
+    EXPECT_EQ(cache.size(), 0u);
+
+    carbonPerArea(fab, 7.0);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    for (int repeat = 0; repeat < 9; ++repeat)
+        carbonPerArea(fab, 7.0);
+    EXPECT_EQ(cache.stats().hits, 9u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_NEAR(cache.stats().hitRate(), 0.9, 1e-12);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    carbonPerArea(fab, 7.0);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(CpaCacheTest, DisabledCacheBypassesStorage)
+{
+    CpaCache &cache = CpaCache::instance();
+    cache.setEnabled(false);
+    carbonPerArea(FabParams{}, 10.0);
+    carbonPerArea(FabParams{}, 10.0);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST_F(CpaCacheTest, ConcurrentLookupsAgreeWithSerialValues)
+{
+    // Hammer a small key set from the pool: every concurrent lookup
+    // must return exactly the serial value (smoke test for the striped
+    // locking; run under -DACT_SANITIZE=thread to check for races).
+    const std::vector<FabParams> fabs = fabVariants();
+    constexpr std::size_t kQueries = 2000;
+    std::vector<double> serial(kQueries);
+    for (std::size_t i = 0; i < kQueries; ++i) {
+        const double nm = 3.0 + static_cast<double>(i % 26);
+        serial[i] = carbonPerArea(fabs[i % fabs.size()], nm).value();
+    }
+
+    CpaCache::instance().clear();
+    util::setThreadCount(8);
+    std::vector<double> parallel(kQueries);
+    util::parallelFor(0, kQueries, 16, [&](std::size_t i) {
+        const double nm = 3.0 + static_cast<double>(i % 26);
+        parallel[i] = carbonPerArea(fabs[i % fabs.size()], nm).value();
+    });
+
+    for (std::size_t i = 0; i < kQueries; ++i)
+        EXPECT_EQ(parallel[i], serial[i]) << "query " << i;
+}
+
+} // namespace
+} // namespace act::core
