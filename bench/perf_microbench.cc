@@ -10,7 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
 #include "accel/design_space.h"
+#include "config/json.h"
 #include "core/cpa_cache.h"
 #include "core/embodied.h"
 #include "dse/montecarlo.h"
@@ -172,6 +178,67 @@ BM_FtlSimulator(benchmark::State &state)
 }
 BENCHMARK(BM_FtlSimulator)->Arg(10000)->Arg(100000);
 
+/**
+ * The usual console output plus a machine-readable BENCH_results.json
+ * (name, wall ns/iter, CPU ns/iter, iterations) so the perf trajectory
+ * can be tracked across PRs. Path override: ACT_BENCH_JSON.
+ */
+class JsonEmittingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred ||
+                run.run_type != Run::RT_Iteration ||
+                run.iterations == 0) {
+                continue;
+            }
+            const double iterations =
+                static_cast<double>(run.iterations);
+            config::JsonObject entry;
+            entry["name"] = run.benchmark_name();
+            entry["iterations"] = iterations;
+            entry["real_time_ns"] =
+                run.real_accumulated_time * 1e9 / iterations;
+            entry["cpu_time_ns"] =
+                run.cpu_accumulated_time * 1e9 / iterations;
+            results_.emplace_back(std::move(entry));
+        }
+    }
+
+    config::JsonArray
+    takeResults()
+    {
+        return std::move(results_);
+    }
+
+  private:
+    config::JsonArray results_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonEmittingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    const char *env = std::getenv("ACT_BENCH_JSON");
+    const std::string path =
+        env != nullptr && *env != '\0' ? env : "BENCH_results.json";
+    act::config::JsonObject root;
+    root["benchmarks"] = act::config::JsonValue(reporter.takeResults());
+    act::config::saveJsonFile(path, act::config::JsonValue(
+                                        std::move(root)));
+    std::cout << "wrote " << path << "\n";
+
+    benchmark::Shutdown();
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace act::accel {
 
@@ -24,6 +25,9 @@ std::vector<SweepEntry>
 sweepDesignSpace(const NpuModel &model, const Network &network,
                  double node_nm, const core::FabParams &fab)
 {
+    TRACE_SPAN("accel.design_space",
+               "sweepDesignSpace:" + util::formatSig(node_nm, 3) +
+                   "nm");
     // Each MAC configuration evaluates independently; fill pre-sized
     // slots on the pool so sweep order stays the paper's order.
     const std::vector<int> macs_sweep = macSweep();

@@ -6,7 +6,14 @@
 namespace act::core {
 
 CpaCache::CpaCache()
+    : hits_(util::MetricsRegistry::instance().counter(
+          "core.cpa_cache.hits")),
+      misses_(util::MetricsRegistry::instance().counter(
+          "core.cpa_cache.misses"))
 {
+    util::MetricsRegistry::instance().registerCallbackGauge(
+        "core.cpa_cache.hit_rate_pct",
+        [this] { return stats().hitRate() * 100.0; });
     for (NumericShard &shard : numeric_shards_)
         shard.table.store(new NumericTable(kInitialCapacity),
                           std::memory_order_release);
@@ -138,24 +145,16 @@ CpaCache::clear()
 void
 CpaCache::resetStats()
 {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    for (const auto &counters : counters_) {
-        counters->hits.store(0, std::memory_order_relaxed);
-        counters->misses.store(0, std::memory_order_relaxed);
-    }
+    hits_.reset();
+    misses_.reset();
 }
 
 CpaCacheStats
 CpaCache::stats() const
 {
     CpaCacheStats stats;
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    for (const auto &counters : counters_) {
-        stats.hits +=
-            counters->hits.load(std::memory_order_relaxed);
-        stats.misses +=
-            counters->misses.load(std::memory_order_relaxed);
-    }
+    stats.hits = hits_.value();
+    stats.misses = misses_.value();
     return stats;
 }
 

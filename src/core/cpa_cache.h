@@ -17,8 +17,12 @@
  * the same value the uncached computation would -- never an
  * approximation.
  *
- * Hit/miss counters are kept in single-writer thread-local slots and
- * summed on demand, keeping the fast path free of contended atomics.
+ * Hit/miss counters live in the process-wide metrics registry
+ * (`core.cpa_cache.hits` / `core.cpa_cache.misses`, see
+ * util/metrics.h) whose striped relaxed atomics keep the fast path
+ * free of contended cache lines; `stats()` reads the same counters.
+ * When tracing is on (util/trace.h), each miss's recomputation is
+ * recorded as a `core.cpa` span.
  *
  * Disable with `ACT_CPA_CACHE=0` in the environment or
  * `CpaCache::instance().setEnabled(false)` (e.g. when benchmarking the
@@ -42,6 +46,8 @@
 #include <vector>
 
 #include "core/fab_params.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 namespace act::core {
@@ -84,11 +90,13 @@ class CpaCache
         const NumericKey key = numericKey(fab, nm);
         const std::uint64_t hash = hashNumeric(key);
         if (const double *found = findNumeric(key, hash)) {
-            countHit();
+            hits_.add();
             return util::gramsPerCm2(*found);
         }
+        util::TraceSpan span("core.cpa", "cpa_miss");
         const util::CarbonPerArea value = compute();
-        countMiss();
+        span.finish();
+        misses_.add();
         storeNumeric(key, hash, value.value());
         return value;
     }
@@ -102,11 +110,13 @@ class CpaCache
         if (!enabled_.load(std::memory_order_relaxed))
             return compute();
         if (const double *found = findNamed(fab, node_name)) {
-            countHit();
+            hits_.add();
             return util::gramsPerCm2(*found);
         }
+        util::TraceSpan span("core.cpa", "cpa_named_miss");
         const util::CarbonPerArea value = compute();
-        countMiss();
+        span.finish();
+        misses_.add();
         storeNamed(fab, node_name, value.value());
         return value;
     }
@@ -188,14 +198,6 @@ class CpaCache
         std::unordered_map<NamedKey, double, NamedKeyHash> entries;
     };
 
-    /** Single-writer counters, one slot per thread that ever looked
-     *  anything up; stats() sums every registered slot. */
-    struct Counters
-    {
-        std::atomic<std::uint64_t> hits{0};
-        std::atomic<std::uint64_t> misses{0};
-    };
-
     static constexpr std::size_t kShards = 16;
     static constexpr std::size_t kInitialCapacity = 32;
 
@@ -262,44 +264,12 @@ class CpaCache
     void storeNamed(const FabParams &fab, std::string_view node_name,
                     double value);
 
-    Counters &
-    localCounters()
-    {
-        // Trivially-initialized thread_local: no init guard on the
-        // fast path. The registry's shared_ptr keeps the slot alive
-        // after the owning thread exits, so stats() stays safe.
-        thread_local Counters *cached = nullptr;
-        if (cached == nullptr) {
-            auto created = std::make_shared<Counters>();
-            std::lock_guard<std::mutex> lock(counters_mutex_);
-            counters_.push_back(created);
-            cached = created.get();
-        }
-        return *cached;
-    }
-
-    void
-    countHit()
-    {
-        Counters &counters = localCounters();
-        counters.hits.store(
-            counters.hits.load(std::memory_order_relaxed) + 1,
-            std::memory_order_relaxed);
-    }
-    void
-    countMiss()
-    {
-        Counters &counters = localCounters();
-        counters.misses.store(
-            counters.misses.load(std::memory_order_relaxed) + 1,
-            std::memory_order_relaxed);
-    }
-
     NumericShard numeric_shards_[kShards];
     NamedShard named_shards_[kShards];
 
-    mutable std::mutex counters_mutex_;
-    std::vector<std::shared_ptr<Counters>> counters_;
+    /** Registry-owned hit/miss counters (core.cpa_cache.*). */
+    util::Counter &hits_;
+    util::Counter &misses_;
 
     std::atomic<bool> enabled_{true};
 };

@@ -5,6 +5,8 @@
 #include "core/cpa_cache.h"
 #include "util/interp.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace act::core {
 
@@ -59,6 +61,16 @@ computeCarbonPerAreaNamed(const FabParams &fab,
     return cpaFromIntensities(fab, record->epa, gpa);
 }
 
+/** Per-equation evaluation counters (Eq. 5 is counted by the CPA
+ *  cache as core.cpa_cache.hits + misses). */
+util::Counter &g_eq3_evals =
+    util::MetricsRegistry::instance().counter("core.eq3.device_evals");
+util::Counter &g_eq4_evals =
+    util::MetricsRegistry::instance().counter("core.eq4.logic_evals");
+util::Counter &g_storage_evals =
+    util::MetricsRegistry::instance().counter(
+        "core.eq6_8.storage_evals");
+
 } // namespace
 
 CarbonPerArea
@@ -79,12 +91,14 @@ carbonPerAreaNamed(const FabParams &fab, std::string_view node_name)
 Mass
 logicEmbodied(Area area, double nm, const FabParams &fab)
 {
+    g_eq4_evals.add();
     return carbonPerArea(fab, nm) * area;
 }
 
 Mass
 storageEmbodied(Capacity capacity, CarbonPerCapacity cps)
 {
+    g_storage_evals.add();
     return cps * capacity;
 }
 
@@ -151,6 +165,8 @@ EmbodiedModel::icEmbodied(const data::IcComponent &ic) const
 DeviceFootprint
 EmbodiedModel::evaluate(const data::DeviceRecord &device) const
 {
+    g_eq3_evals.add();
+    TRACE_SPAN("core.embodied", "evaluate:" + device.name);
     DeviceFootprint footprint;
     footprint.components.reserve(device.ics.size());
     for (const auto &ic : device.ics) {

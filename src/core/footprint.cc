@@ -1,8 +1,16 @@
 #include "core/footprint.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace act::core {
+
+namespace {
+
+util::Counter &g_eq1_evals =
+    util::MetricsRegistry::instance().counter("core.eq1.evals");
+
+} // namespace
 
 double
 CarbonFootprint::embodiedShare() const
@@ -17,6 +25,7 @@ CarbonFootprint
 combineFootprint(util::Mass operational, util::Mass embodied_total,
                  util::Duration execution_time, util::Duration lifetime)
 {
+    g_eq1_evals.add();
     if (util::asSeconds(lifetime) <= 0.0)
         util::fatal("hardware lifetime must be positive");
     if (util::asSeconds(execution_time) < 0.0)

@@ -4,12 +4,19 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace act::dse {
 
 namespace {
+
+util::Counter &g_runs =
+    util::MetricsRegistry::instance().counter("dse.montecarlo.runs");
+util::Counter &g_samples = util::MetricsRegistry::instance().counter(
+    "dse.montecarlo.samples");
 
 double
 sampleParameter(const UncertainParameter &parameter,
@@ -42,6 +49,9 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
                &model,
            std::size_t samples, std::uint64_t seed)
 {
+    TRACE_SPAN("dse.montecarlo", "monteCarlo");
+    g_runs.add();
+    g_samples.add(samples);
     if (parameters.empty())
         util::fatal("monteCarlo() needs at least one parameter");
     if (samples < 100)
@@ -88,6 +98,7 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
     });
 
     // Ordered reduction over the chunk-indexed partials.
+    TRACE_SPAN("dse.montecarlo", "reduce");
     std::vector<double> outputs;
     outputs.reserve(samples);
     double sum = 0.0;

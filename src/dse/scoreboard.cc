@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace act::dse {
 
@@ -9,6 +10,7 @@ Scoreboard::Scoreboard(std::vector<core::DesignPoint> designs,
                        std::size_t baseline_index)
     : designs_(std::move(designs))
 {
+    TRACE_SPAN("dse.scoreboard", "build");
     if (designs_.empty())
         util::fatal("Scoreboard over an empty design space");
     if (baseline_index >= designs_.size())

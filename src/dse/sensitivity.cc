@@ -4,9 +4,18 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace act::dse {
+
+namespace {
+
+util::Counter &g_tornado_evals =
+    util::MetricsRegistry::instance().counter("dse.tornado.evals");
+
+} // namespace
 
 double
 TornadoEntry::swing() const
@@ -18,8 +27,10 @@ std::vector<TornadoEntry>
 tornado(const std::vector<ParameterRange> &parameters,
         const std::function<double(const std::vector<double> &)> &model)
 {
+    TRACE_SPAN("dse.tornado", "tornado");
     if (parameters.empty())
         util::fatal("tornado() needs at least one parameter");
+    g_tornado_evals.add(2 * parameters.size());
 
     std::vector<double> baseline;
     baseline.reserve(parameters.size());

@@ -1,6 +1,7 @@
 #include "mobile/platform.h"
 
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace act::mobile {
 
@@ -47,6 +48,7 @@ designPoint(const data::SocRecord &soc, const core::FabParams &fab)
 std::vector<core::DesignPoint>
 mobileDesignSpace(const core::FabParams &fab)
 {
+    TRACE_SPAN("mobile.design_space", "mobileDesignSpace");
     // Each SoC evaluates independently; fill pre-sized slots on the
     // pool so the result keeps database order for any thread count.
     const auto records = data::SocDatabase::instance().records();

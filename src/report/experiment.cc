@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace act::report {
@@ -17,20 +18,42 @@ parseOptions(int argc, char **argv)
             options.csv = true;
         } else if (std::strcmp(argv[i], "--ablation") == 0) {
             options.ablation = true;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            options.metrics = true;
+            util::setMetricsEnabled(true);
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc)
+                util::fatal("--trace needs a file path");
+            options.trace_file = argv[++i];
+            util::setTraceFile(options.trace_file);
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::cout << "usage: " << argv[0] << " [--csv] [--ablation]\n";
+            std::cout << "usage: " << argv[0]
+                      << " [--csv] [--ablation] [--metrics]"
+                         " [--trace <file>]\n";
             std::exit(0);
         } else {
             util::fatal("unknown option '", argv[i],
-                        "' (supported: --csv, --ablation, --help)");
+                        "' (supported: --csv, --ablation, --metrics, "
+                        "--trace <file>, --help)");
         }
     }
     return options;
 }
 
-Experiment::Experiment(std::string id, std::string title) : id_(std::move(id))
+Experiment::Experiment(std::string id, std::string title)
+    : id_(std::move(id)), span_("bench", id_)
 {
     std::cout << "=== " << id_ << ": " << title << " ===\n";
+}
+
+Experiment::~Experiment()
+{
+    span_.finish();
+    if (util::metricsEnabled()) {
+        std::cout << "\n--- metrics (" << id_ << ") ---\n"
+                  << util::MetricsRegistry::instance().renderTable();
+    }
+    util::flushTrace();
 }
 
 void

@@ -12,6 +12,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/trace.h"
+
 namespace act::report {
 
 /** Command-line options shared by all bench binaries. */
@@ -21,9 +23,18 @@ struct Options
     bool csv = false;
     /** Run any ablation variant the binary defines. */
     bool ablation = false;
+    /** Print the metrics-registry table at the end of the run. */
+    bool metrics = false;
+    /** Chrome trace-event output file ("" = tracing off). */
+    std::string trace_file;
 };
 
-/** Parse --csv / --ablation; unknown flags are fatal. */
+/**
+ * Parse --csv / --ablation / --metrics / --trace <file>; unknown flags
+ * are fatal. --metrics enables the registry (util::setMetricsEnabled)
+ * and --trace starts recording (util::setTraceFile) as side effects,
+ * mirroring the ACT_METRICS / ACT_TRACE environment variables.
+ */
 Options parseOptions(int argc, char **argv);
 
 /** One experiment's console reporter. */
@@ -35,6 +46,12 @@ class Experiment
      * @param title short description.
      */
     Experiment(std::string id, std::string title);
+
+    /**
+     * Ends the per-figure trace span, prints the end-of-run metrics
+     * table when metrics are enabled, and flushes the trace file.
+     */
+    ~Experiment();
 
     /** Print a section sub-header. */
     void section(std::string_view name) const;
@@ -50,6 +67,8 @@ class Experiment
 
   private:
     std::string id_;
+    /** Spans the whole figure/table run ("bench" category). */
+    util::TraceSpan span_;
 };
 
 } // namespace act::report

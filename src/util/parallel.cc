@@ -1,13 +1,18 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace act::util {
 
@@ -23,19 +28,56 @@ std::size_t
 autoThreadCount()
 {
     // Parse ACT_THREADS once; the hardware count is the fallback.
+    // strtoll (not strtoul) so negative values are rejected instead of
+    // wrapping to an enormous worker count.
     static const std::size_t resolved = [] {
         if (const char *env = std::getenv("ACT_THREADS")) {
             char *tail = nullptr;
-            const unsigned long parsed = std::strtoul(env, &tail, 10);
-            if (tail != env && *tail == '\0' && parsed >= 1)
+            errno = 0;
+            const long long parsed = std::strtoll(env, &tail, 10);
+            if (tail != env && *tail == '\0' && errno != ERANGE &&
+                parsed >= 1) {
                 return static_cast<std::size_t>(parsed);
-            warn("ignoring malformed ACT_THREADS value '",
-                 std::string(env), "'");
+            }
+            warn("ignoring invalid ACT_THREADS value '",
+                 std::string(env),
+                 "' (expected a positive integer); using hardware "
+                 "concurrency");
         }
         const unsigned hardware = std::thread::hardware_concurrency();
         return static_cast<std::size_t>(hardware >= 1 ? hardware : 1);
     }();
     return resolved;
+}
+
+/** Pool observability instruments, registered once. Counters are
+ *  always live; the histograms/gauge only fill while metrics are on
+ *  (timed sections are additionally gated at the call sites so the
+ *  clock reads disappear when both metrics and tracing are off). */
+struct PoolInstruments
+{
+    Counter &jobs =
+        MetricsRegistry::instance().counter("parallel.jobs");
+    Counter &serial_jobs =
+        MetricsRegistry::instance().counter("parallel.serial_jobs");
+    Counter &chunks =
+        MetricsRegistry::instance().counter("parallel.chunks");
+    Histogram &chunk_us =
+        MetricsRegistry::instance().histogram("parallel.chunk_us");
+    Histogram &queue_wait_us = MetricsRegistry::instance().histogram(
+        "parallel.queue_wait_us");
+    Histogram &imbalance_pct = MetricsRegistry::instance().histogram(
+        "parallel.imbalance_pct",
+        {1, 2, 5, 10, 20, 30, 50, 75, 90, 100});
+    Gauge &utilization_pct = MetricsRegistry::instance().gauge(
+        "parallel.worker_utilization_pct");
+};
+
+PoolInstruments &
+poolInstruments()
+{
+    static PoolInstruments *instruments = new PoolInstruments;
+    return *instruments;
 }
 
 /**
@@ -65,13 +107,14 @@ class ThreadPool
         ensureWorkers(std::min(threadCount() - 1, tasks - 1));
         job_ = &task;
         task_count_ = tasks;
-        next_task_.store(0, std::memory_order_relaxed);
         completed_.store(0, std::memory_order_relaxed);
-        ++generation_;
+        const std::size_t generation = ++generation_;
+        ticket_.store(ticketTag(generation),
+                      std::memory_order_release);
         lock.unlock();
         work_ready_.notify_all();
 
-        drain(task, tasks);
+        drain(task, tasks, generation);
 
         lock.lock();
         job_done_.wait(lock, [&] {
@@ -95,18 +138,43 @@ class ThreadPool
             worker.join();
     }
 
-    /** Pull task indices until the counter runs dry. */
+    /** The generation tag in the high half of a ticket word. */
+    static std::uint64_t
+    ticketTag(std::size_t generation)
+    {
+        return (static_cast<std::uint64_t>(generation) & 0xffffffffu)
+               << 32;
+    }
+
+    /**
+     * Pull task indices until the job's tickets run dry. Tickets are
+     * claimed by CAS on a (generation, index) word rather than a blind
+     * fetch_add: a laggard thread still looping here when the next job
+     * is published sees a generation mismatch and leaves, instead of
+     * consuming one of the new job's indices and invoking the previous
+     * job's task (a dangling reference to the old submitter's stack).
+     */
     void
     drain(const std::function<void(std::size_t)> &task,
-          std::size_t tasks)
+          std::size_t tasks, std::size_t generation)
     {
+        const std::uint64_t tag = ticketTag(generation);
+        std::uint64_t current = ticket_.load(std::memory_order_acquire);
         for (;;) {
+            if ((current & ~std::uint64_t{0xffffffffu}) != tag)
+                break;
             const std::size_t index =
-                next_task_.fetch_add(1, std::memory_order_relaxed);
+                static_cast<std::size_t>(current & 0xffffffffu);
             if (index >= tasks)
                 break;
+            if (!ticket_.compare_exchange_weak(
+                    current, current + 1, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                continue;
+            }
             task(index);
             finishOne(tasks);
+            current = ticket_.load(std::memory_order_acquire);
         }
     }
 
@@ -145,7 +213,7 @@ class ThreadPool
             const std::function<void(std::size_t)> *task = job_;
             const std::size_t tasks = task_count_;
             lock.unlock();
-            drain(*task, tasks);
+            drain(*task, tasks, seen_generation);
             lock.lock();
         }
     }
@@ -158,11 +226,12 @@ class ThreadPool
     bool shutdown_ = false;
 
     // Current job, guarded by mutex_ for publication and stamped by
-    // generation_ so idle workers only pick it up once.
+    // generation_ so idle workers only pick it up once. The ticket
+    // word is (generation << 32) | next-task-index; see drain().
     const std::function<void(std::size_t)> *job_ = nullptr;
     std::size_t task_count_ = 0;
     std::size_t generation_ = 0;
-    std::atomic<std::size_t> next_task_{0};
+    std::atomic<std::uint64_t> ticket_{0};
     std::atomic<std::size_t> completed_{0};
 };
 
@@ -206,14 +275,92 @@ staticChunks(std::size_t begin, std::size_t end, std::size_t grain)
     return chunks;
 }
 
+namespace {
+
+/**
+ * runChunks with per-chunk timing: queue wait (job submission to chunk
+ * start), chunk duration, end-of-job imbalance, and worker
+ * utilization, plus one trace span per chunk and per job. Only entered
+ * when metrics or tracing are enabled, so the clock reads and the
+ * durations vector cost nothing in a plain run.
+ */
+void
+runChunksInstrumented(
+    const std::vector<IndexRange> &chunks, bool serial,
+    const std::function<void(std::size_t, IndexRange)> &body)
+{
+    PoolInstruments &instruments = poolInstruments();
+    TraceSpan job_span("util.parallel",
+                      serial ? "runChunks.serial" : "runChunks");
+    const std::uint64_t submit_ns = detail::traceNowNs();
+    std::vector<std::uint64_t> durations(chunks.size(), 0);
+    const auto timed_body = [&](std::size_t chunk, IndexRange range) {
+        const std::uint64_t start_ns = detail::traceNowNs();
+        instruments.queue_wait_us.observe(
+            static_cast<double>(start_ns - submit_ns) / 1000.0);
+        {
+            TraceSpan chunk_span("util.parallel",
+                                 "chunk#" + std::to_string(chunk));
+            body(chunk, range);
+        }
+        const std::uint64_t duration = detail::traceNowNs() - start_ns;
+        durations[chunk] = duration;
+        instruments.chunk_us.observe(static_cast<double>(duration) /
+                                     1000.0);
+    };
+    if (serial) {
+        for (std::size_t chunk = 0; chunk < chunks.size(); ++chunk)
+            timed_body(chunk, chunks[chunk]);
+    } else {
+        ThreadPool::instance().run(
+            chunks.size(), [&](std::size_t chunk) {
+                timed_body(chunk, chunks[chunk]);
+            });
+    }
+    const std::uint64_t wall_ns = detail::traceNowNs() - submit_ns;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t slowest = 0;
+    std::uint64_t fastest = durations[0];
+    for (const std::uint64_t duration : durations) {
+        busy_ns += duration;
+        slowest = std::max(slowest, duration);
+        fastest = std::min(fastest, duration);
+    }
+    if (slowest > 0) {
+        instruments.imbalance_pct.observe(
+            100.0 * static_cast<double>(slowest - fastest) /
+            static_cast<double>(slowest));
+    }
+    const std::size_t workers =
+        serial ? 1 : std::min(threadCount(), chunks.size());
+    if (wall_ns > 0) {
+        instruments.utilization_pct.set(
+            100.0 * static_cast<double>(busy_ns) /
+            (static_cast<double>(wall_ns) *
+             static_cast<double>(workers)));
+    }
+}
+
+} // namespace
+
 void
 runChunks(const std::vector<IndexRange> &chunks,
           const std::function<void(std::size_t, IndexRange)> &body)
 {
     if (chunks.empty())
         return;
-    if (chunks.size() == 1 || threadCount() <= 1 ||
-        tls_in_pool_worker) {
+    PoolInstruments &instruments = poolInstruments();
+    instruments.jobs.add();
+    instruments.chunks.add(chunks.size());
+    const bool serial = chunks.size() == 1 || threadCount() <= 1 ||
+                        tls_in_pool_worker;
+    if (serial)
+        instruments.serial_jobs.add();
+    if (metricsEnabled() || traceEnabled()) {
+        runChunksInstrumented(chunks, serial, body);
+        return;
+    }
+    if (serial) {
         for (std::size_t chunk = 0; chunk < chunks.size(); ++chunk)
             body(chunk, chunks[chunk]);
         return;

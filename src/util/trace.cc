@@ -1,0 +1,268 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace act::util {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+} // namespace detail
+
+namespace {
+
+/** One buffered trace event; categories are string literals. */
+struct TraceEvent
+{
+    const char *category = nullptr;
+    std::string name;
+    char phase = 'X';
+    std::uint32_t tid = 0;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+};
+
+std::uint32_t
+currentTid()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+/**
+ * Global event buffer. A single mutex is fine here: events are span-
+ * or chunk-granular (never per-sample), and the buffer is only touched
+ * while tracing is enabled. Leaked on purpose so pool workers can
+ * still record during static destruction.
+ */
+class TraceCollector
+{
+  public:
+    static TraceCollector &
+    instance()
+    {
+        static TraceCollector *collector = new TraceCollector;
+        return *collector;
+    }
+
+    void
+    append(TraceEvent event)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events_.push_back(std::move(event));
+    }
+
+    void
+    setFile(const std::string &path)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!path_.empty())
+            writeLocked();
+        path_ = path;
+        events_.clear();
+        detail::g_trace_enabled.store(!path_.empty(),
+                                      std::memory_order_relaxed);
+        if (!path_.empty() && !atexit_registered_) {
+            atexit_registered_ = true;
+            std::atexit([] { flushTrace(); });
+        }
+    }
+
+    std::string
+    file() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return path_;
+    }
+
+    void
+    flush()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!path_.empty())
+            writeLocked();
+    }
+
+  private:
+    TraceCollector() = default;
+
+    /** Escape for a JSON string body (quotes, backslash, control). */
+    static void
+    appendEscaped(std::string &out, const std::string &text)
+    {
+        for (const char c : text) {
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+            }
+        }
+    }
+
+    /** Chrome "ts"/"dur" are microseconds; keep ns as the fraction. */
+    static void
+    appendMicros(std::string &out, std::uint64_t ns)
+    {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                      static_cast<unsigned long long>(ns / 1000),
+                      static_cast<unsigned long long>(ns % 1000));
+        out += buffer;
+    }
+
+    void
+    writeLocked()
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        if (!out) {
+            warn("cannot write trace file '", path_, "'");
+            return;
+        }
+        std::string body;
+        body.reserve(events_.size() * 96 + 64);
+        body += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+        bool first = true;
+        for (const TraceEvent &event : events_) {
+            if (!first)
+                body += ',';
+            first = false;
+            body += "{\"name\":\"";
+            appendEscaped(body, event.name);
+            body += "\",\"cat\":\"";
+            appendEscaped(body, event.category);
+            body += "\",\"ph\":\"";
+            body += event.phase;
+            body += "\",\"pid\":1,\"tid\":";
+            body += std::to_string(event.tid);
+            body += ",\"ts\":";
+            appendMicros(body, event.ts_ns);
+            if (event.phase == 'X') {
+                body += ",\"dur\":";
+                appendMicros(body, event.dur_ns);
+            } else if (event.phase == 'i') {
+                body += ",\"s\":\"t\"";
+            }
+            body += '}';
+        }
+        body += "]}\n";
+        out << body;
+    }
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::vector<TraceEvent> events_;
+    bool atexit_registered_ = false;
+};
+
+/** Parse ACT_TRACE once at startup; an empty value warns. */
+struct TraceEnvInit
+{
+    TraceEnvInit()
+    {
+        const char *env = std::getenv("ACT_TRACE");
+        if (env == nullptr)
+            return;
+        if (*env == '\0') {
+            warn("ignoring empty ACT_TRACE value "
+                 "(expected a file path)");
+            return;
+        }
+        setTraceFile(env);
+    }
+} g_trace_env_init;
+
+} // namespace
+
+namespace detail {
+
+std::uint64_t
+traceNowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - epoch)
+            .count());
+}
+
+void
+traceComplete(const char *category, std::string name,
+              std::uint64_t start_ns, std::uint64_t end_ns)
+{
+    TraceEvent event;
+    event.category = category;
+    event.name = std::move(name);
+    event.phase = 'X';
+    event.tid = currentTid();
+    event.ts_ns = start_ns;
+    event.dur_ns = end_ns - start_ns;
+    TraceCollector::instance().append(std::move(event));
+}
+
+} // namespace detail
+
+void
+setTraceFile(const std::string &path)
+{
+    TraceCollector::instance().setFile(path);
+}
+
+std::string
+traceFile()
+{
+    return TraceCollector::instance().file();
+}
+
+void
+flushTrace()
+{
+    TraceCollector::instance().flush();
+}
+
+void
+traceInstant(const char *category, std::string name)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.category = category;
+    event.name = std::move(name);
+    event.phase = 'i';
+    event.tid = currentTid();
+    event.ts_ns = detail::traceNowNs();
+    TraceCollector::instance().append(std::move(event));
+}
+
+} // namespace act::util

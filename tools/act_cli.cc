@@ -28,8 +28,10 @@
 #include "data/soc_db.h"
 #include "mobile/platform.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -59,7 +61,13 @@ printUsage()
         "(default: Taiwan grid + 25% solar)\n"
         "  --yield <y>        fab yield in (0, 1] (default 0.875)\n"
         "  --abatement <a>    gas abatement in [0.90, 1.0] "
-        "(default 0.97)\n";
+        "(default 0.97)\n"
+        "\n"
+        "observability (any command):\n"
+        "  --metrics          print the metrics-registry table after "
+        "the command\n"
+        "  --trace <file>     write a Chrome trace-event JSON profile "
+        "(Perfetto)\n";
 }
 
 /** Simple flag map over argv[from..). */
@@ -365,19 +373,10 @@ cmdFootprint(const Args &args)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCommand(const std::string &command, const Args &args)
 {
-    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
-        std::strcmp(argv[1], "help") == 0) {
-        printUsage();
-        return argc < 2 ? 1 : 0;
-    }
-
-    const std::string command = argv[1];
-    const Args args(argc, argv, 2);
+    TRACE_SPAN("cli", command);
     if (command == "list") {
         if (args.positional().empty())
             act::util::fatal("list needs a target");
@@ -402,4 +401,49 @@ main(int argc, char **argv)
 
     act::util::fatal("unknown command '", command,
                      "' (try 'act --help')");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel the observability flags off before command parsing so they
+    // work uniformly with every command (and mirror ACT_METRICS /
+    // ACT_TRACE).
+    std::vector<char *> arguments;
+    arguments.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics") == 0) {
+            act::util::setMetricsEnabled(true);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc)
+                act::util::fatal("--trace needs a file path");
+            act::util::setTraceFile(argv[++i]);
+            continue;
+        }
+        arguments.push_back(argv[i]);
+    }
+    argc = static_cast<int>(arguments.size());
+    argv = arguments.data();
+
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "help") == 0) {
+        printUsage();
+        return argc < 2 ? 1 : 0;
+    }
+
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+    const int status = runCommand(command, args);
+
+    if (act::util::metricsEnabled()) {
+        std::cout << "\n--- metrics ---\n"
+                  << act::util::MetricsRegistry::instance()
+                         .renderTable();
+    }
+    act::util::flushTrace();
+    return status;
 }
