@@ -1,7 +1,7 @@
 #include "accel/design_space.h"
 
+#include "sweep/engine.h"
 #include "util/logging.h"
-#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/trace.h"
 
@@ -28,25 +28,27 @@ sweepDesignSpace(const NpuModel &model, const Network &network,
     TRACE_SPAN("accel.design_space",
                "sweepDesignSpace:" + util::formatSig(node_nm, 3) +
                    "nm");
-    // Each MAC configuration evaluates independently; fill pre-sized
-    // slots on the pool so sweep order stays the paper's order.
+    // Each MAC configuration evaluates independently; the sweep
+    // engine fills pre-sized slots so sweep order stays the paper's
+    // order.
     const std::vector<int> macs_sweep = macSweep();
-    std::vector<SweepEntry> entries(macs_sweep.size());
-    util::parallelFor(0, macs_sweep.size(), 1, [&](std::size_t i) {
-        SweepEntry entry;
-        const NpuConfig config{macs_sweep[i], node_nm};
-        entry.evaluation = model.evaluate(network, config);
-        entry.embodied = model.embodied(config, fab);
+    return sweep::runSweepMap<SweepEntry>(
+        sweep::SweepPlan::map("accel.design_space", macs_sweep.size()),
+        [&](std::size_t i) {
+            SweepEntry entry;
+            const NpuConfig config{macs_sweep[i], node_nm};
+            entry.evaluation = model.evaluate(network, config);
+            entry.embodied = model.embodied(config, fab);
 
-        entry.design_point.name =
-            std::to_string(macs_sweep[i]) + " MACs";
-        entry.design_point.embodied = entry.embodied;
-        entry.design_point.energy = entry.evaluation.energy_per_frame;
-        entry.design_point.delay = entry.evaluation.latency;
-        entry.design_point.area = entry.evaluation.area;
-        entries[i] = std::move(entry);
-    });
-    return entries;
+            entry.design_point.name =
+                std::to_string(macs_sweep[i]) + " MACs";
+            entry.design_point.embodied = entry.embodied;
+            entry.design_point.energy =
+                entry.evaluation.energy_per_frame;
+            entry.design_point.delay = entry.evaluation.latency;
+            entry.design_point.area = entry.evaluation.area;
+            return entry;
+        });
 }
 
 double

@@ -1,9 +1,58 @@
 #include "core/cpa_cache.h"
 
-#include <cstdlib>
-#include <cstring>
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "core/model_config.h"
+#include "util/env.h"
+#include "util/logging.h"
 
 namespace act::core {
+
+namespace {
+
+constexpr const char *kCacheFormat = "act.cpa_cache.v1";
+
+/**
+ * Doubles (and the lookup flag) persist as 16-hex-digit bit patterns,
+ * not decimal text: the cache contract is *exact* bitwise keys, and a
+ * round-trip through the file must reproduce every bit or a warm
+ * start could silently diverge from a cold one.
+ */
+std::string
+hexU64(std::uint64_t bits)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return std::string(buffer);
+}
+
+std::uint64_t
+u64Hex(const config::JsonValue &value)
+{
+    const std::string &text = value.asString();
+    if (text.size() != 16)
+        throw config::JsonTypeError("expected 16 hex digits, got \"" +
+                                    text + "\"");
+    std::uint64_t bits = 0;
+    for (const char c : text) {
+        bits <<= 4;
+        if (c >= '0' && c <= '9')
+            bits |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            throw config::JsonTypeError(
+                "invalid hex digit in \"" + text + "\"");
+    }
+    return bits;
+}
+
+} // namespace
 
 CpaCache::CpaCache()
     : hits_(util::MetricsRegistry::instance().counter(
@@ -17,14 +66,26 @@ CpaCache::CpaCache()
     for (NumericShard &shard : numeric_shards_)
         shard.table.store(new NumericTable(kInitialCapacity),
                           std::memory_order_release);
-    if (const char *env = std::getenv("ACT_CPA_CACHE")) {
-        if (std::strcmp(env, "0") == 0)
-            enabled_.store(false, std::memory_order_relaxed);
+    if (!util::envBool("ACT_CPA_CACHE", true))
+        enabled_.store(false, std::memory_order_relaxed);
+    persist_path_ = util::envString("ACT_CPA_CACHE_FILE", "");
+    if (!persist_path_.empty()) {
+        // Captured now so the destructor never recomputes it: the
+        // fingerprint walks other function-local statics (the fab
+        // database) that may be gone by the time we are destroyed.
+        persist_fingerprint_ = modelConfigFingerprint();
+        loadFromFile(persist_path_);
     }
 }
 
 CpaCache::~CpaCache()
 {
+    if (!persist_path_.empty() &&
+        enabled_.load(std::memory_order_relaxed)) {
+        if (!writeFile(persist_path_))
+            util::warn("cpa_cache: failed to write '", persist_path_,
+                       "'; cached CPA entries were not persisted");
+    }
     for (NumericShard &shard : numeric_shards_)
         delete shard.table.load(std::memory_order_acquire);
 }
@@ -119,7 +180,12 @@ CpaCache::storeNamed(const FabParams &fab, std::string_view node_name,
     key.yield = std::bit_cast<std::uint64_t>(fab.yield);
     key.lookup = static_cast<std::uint64_t>(fab.lookup);
     key.name = std::string(node_name);
+    storeNamedKey(std::move(key), value);
+}
 
+void
+CpaCache::storeNamedKey(NamedKey key, double value)
+{
     NamedShard &shard = named_shards_[NamedKeyHash{}(key) % kShards];
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     shard.entries.emplace(std::move(key), value);
@@ -140,6 +206,181 @@ CpaCache::clear()
         std::unique_lock<std::shared_mutex> lock(shard.mutex);
         shard.entries.clear();
     }
+}
+
+config::JsonValue
+CpaCache::toJson() const
+{
+    // Snapshot, then sort: shard partitioning and insertion order are
+    // runtime accidents, and two processes that cached the same
+    // entries must write byte-identical files.
+    std::vector<std::pair<NumericKey, double>> numeric;
+    for (const NumericShard &shard : numeric_shards_) {
+        const NumericTable *table =
+            shard.table.load(std::memory_order_acquire);
+        for (const NumericTable::Slot &slot : table->slots) {
+            if (slot.used)
+                numeric.emplace_back(slot.key, slot.value);
+        }
+    }
+    std::sort(numeric.begin(), numeric.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(a.first.ci_fab, a.first.abatement,
+                                  a.first.yield, a.first.lookup,
+                                  a.first.nm) <
+                         std::tie(b.first.ci_fab, b.first.abatement,
+                                  b.first.yield, b.first.lookup,
+                                  b.first.nm);
+              });
+
+    std::vector<std::pair<NamedKey, double>> named;
+    for (const NamedShard &shard : named_shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        for (const auto &[key, value] : shard.entries)
+            named.emplace_back(key, value);
+    }
+    std::sort(named.begin(), named.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(a.first.ci_fab, a.first.abatement,
+                                  a.first.yield, a.first.lookup,
+                                  a.first.name) <
+                         std::tie(b.first.ci_fab, b.first.abatement,
+                                  b.first.yield, b.first.lookup,
+                                  b.first.name);
+              });
+
+    config::JsonArray numeric_json;
+    numeric_json.reserve(numeric.size());
+    for (const auto &[key, value] : numeric) {
+        config::JsonObject entry;
+        entry["ci_fab"] = hexU64(key.ci_fab);
+        entry["abatement"] = hexU64(key.abatement);
+        entry["yield"] = hexU64(key.yield);
+        entry["lookup"] = hexU64(key.lookup);
+        entry["nm"] = hexU64(key.nm);
+        entry["value"] =
+            hexU64(std::bit_cast<std::uint64_t>(value));
+        numeric_json.emplace_back(std::move(entry));
+    }
+    config::JsonArray named_json;
+    named_json.reserve(named.size());
+    for (const auto &[key, value] : named) {
+        config::JsonObject entry;
+        entry["ci_fab"] = hexU64(key.ci_fab);
+        entry["abatement"] = hexU64(key.abatement);
+        entry["yield"] = hexU64(key.yield);
+        entry["lookup"] = hexU64(key.lookup);
+        entry["name"] = key.name;
+        entry["value"] =
+            hexU64(std::bit_cast<std::uint64_t>(value));
+        named_json.emplace_back(std::move(entry));
+    }
+
+    config::JsonObject doc;
+    doc["format"] = kCacheFormat;
+    doc["fingerprint"] = persist_fingerprint_.empty()
+                             ? modelConfigFingerprint()
+                             : persist_fingerprint_;
+    doc["numeric"] = std::move(numeric_json);
+    doc["named"] = std::move(named_json);
+    return config::JsonValue(std::move(doc));
+}
+
+bool
+CpaCache::writeFile(const std::string &path) const
+{
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << toJson().dump(2) << '\n';
+        if (!out)
+            return false;
+    }
+    // Atomic publish: readers (other shards of a sweep, later runs)
+    // see either the old complete file or the new one, never a
+    // partial write.
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+CpaCache::saveToFile(const std::string &path) const
+{
+    if (!writeFile(path))
+        util::fatal("cpa_cache: cannot write cache file '", path, "'");
+}
+
+std::size_t
+CpaCache::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0; // Missing file: a silent cold start, not an error.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::size_t loaded = 0;
+    try {
+        const config::JsonValue doc =
+            config::JsonValue::parse(buffer.str());
+        const std::string format = doc.stringOr("format", "");
+        if (format != kCacheFormat) {
+            util::warn("cpa_cache: '", path, "' has format '", format,
+                       "', expected '", kCacheFormat,
+                       "'; starting cold");
+            return 0;
+        }
+        const std::string fingerprint =
+            doc.stringOr("fingerprint", "");
+        if (fingerprint != modelConfigFingerprint()) {
+            util::warn("cpa_cache: '", path,
+                       "' was written against model fingerprint ",
+                       fingerprint, " but this build is ",
+                       modelConfigFingerprint(),
+                       "; ignoring stale cache");
+            return 0;
+        }
+        for (const config::JsonValue &entry :
+             doc.at("numeric").asArray()) {
+            NumericKey key;
+            key.ci_fab = u64Hex(entry.at("ci_fab"));
+            key.abatement = u64Hex(entry.at("abatement"));
+            key.yield = u64Hex(entry.at("yield"));
+            key.lookup = u64Hex(entry.at("lookup"));
+            key.nm = u64Hex(entry.at("nm"));
+            const double value =
+                std::bit_cast<double>(u64Hex(entry.at("value")));
+            storeNumeric(key, hashNumeric(key), value);
+            ++loaded;
+        }
+        for (const config::JsonValue &entry :
+             doc.at("named").asArray()) {
+            NamedKey key;
+            key.ci_fab = u64Hex(entry.at("ci_fab"));
+            key.abatement = u64Hex(entry.at("abatement"));
+            key.yield = u64Hex(entry.at("yield"));
+            key.lookup = u64Hex(entry.at("lookup"));
+            key.name = entry.at("name").asString();
+            const double value =
+                std::bit_cast<double>(u64Hex(entry.at("value")));
+            storeNamedKey(std::move(key), value);
+            ++loaded;
+        }
+    } catch (const config::JsonParseError &error) {
+        util::warn("cpa_cache: '", path, "' is corrupt (",
+                   error.what(), "); starting cold");
+        return 0;
+    } catch (const config::JsonTypeError &error) {
+        util::warn("cpa_cache: '", path, "' is malformed (",
+                   error.what(), "); starting cold");
+        return 0;
+    }
+    return loaded;
 }
 
 void

@@ -28,6 +28,15 @@
  * `CpaCache::instance().setEnabled(false)` (e.g. when benchmarking the
  * raw model). clear() and resetStats() may run concurrently with
  * lookups; entries/counters populated during the call may survive it.
+ *
+ * Persistence: `ACT_CPA_CACHE_FILE=<path>` loads the cache from
+ * @p path at startup and atomically rewrites it at process exit
+ * (write-to-temp + rename), so repeated sweeps -- and the shards of
+ * one sweep sharing a file -- warm-start instead of recomputing.
+ * Entries are stored with their exact bit patterns and the whole file
+ * is versioned by core::modelConfigFingerprint(): a file written
+ * against different model data is ignored with a warning (never
+ * silently replayed), and a corrupt file warns and starts cold.
  */
 
 #ifndef ACT_CORE_CPA_CACHE_H
@@ -45,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "config/json.h"
 #include "core/fab_params.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -123,6 +133,21 @@ class CpaCache
 
     /** Drop every cached entry (counters are kept). */
     void clear();
+
+    /**
+     * Serialize every cached entry to @p path atomically (temp file +
+     * rename), stamped with the current model-config fingerprint.
+     * Fatal on I/O failure.
+     */
+    void saveToFile(const std::string &path) const;
+
+    /**
+     * Load entries from @p path into the cache (on top of whatever is
+     * already cached). A missing file is a silent cold start; a
+     * corrupt or stale-fingerprint file warns and loads nothing.
+     * Returns the number of entries loaded.
+     */
+    std::size_t loadFromFile(const std::string &path);
 
     /** Reset the hit/miss counters (entries are kept). */
     void resetStats();
@@ -263,6 +288,12 @@ class CpaCache
                             std::string_view node_name) const;
     void storeNamed(const FabParams &fab, std::string_view node_name,
                     double value);
+    /** Raw-key insert shared by storeNamed() and loadFromFile(). */
+    void storeNamedKey(NamedKey key, double value);
+
+    /** Serialize to JSON / write @p path; false on I/O failure. */
+    config::JsonValue toJson() const;
+    bool writeFile(const std::string &path) const;
 
     NumericShard numeric_shards_[kShards];
     NamedShard named_shards_[kShards];
@@ -272,6 +303,15 @@ class CpaCache
     util::Counter &misses_;
 
     std::atomic<bool> enabled_{true};
+
+    /** ACT_CPA_CACHE_FILE target, rewritten at destruction. */
+    std::string persist_path_;
+    /**
+     * modelConfigFingerprint(), captured at construction when
+     * persistence is on: the destructor must not touch other
+     * function-local statics (they may already be destroyed).
+     */
+    std::string persist_fingerprint_;
 };
 
 } // namespace act::core

@@ -50,6 +50,17 @@ Scenario loadScenario(const std::string &path);
 /** Save a scenario config file. */
 void saveScenario(const std::string &path, const Scenario &scenario);
 
+/**
+ * A 16-hex-digit fingerprint of the compiled-in model data the CPA
+ * computation depends on: the Table 7 fab database (per-node EPA/GPA,
+ * MPA), the default fab/use carbon intensities, and a format-version
+ * salt. Serialized artifacts keyed on model outputs -- sweep plans,
+ * shard partials, the persistent CPA cache file -- embed it, so an
+ * artifact produced by a different data vintage is detected as stale
+ * instead of silently replayed.
+ */
+std::string modelConfigFingerprint();
+
 } // namespace act::core
 
 #endif // ACT_CORE_MODEL_CONFIG_H

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "sweep/engine.h"
 #include "util/logging.h"
 #include "util/metrics.h"
-#include "util/parallel.h"
-#include "util/random.h"
 #include "util/trace.h"
 
 namespace act::dse {
@@ -43,15 +43,11 @@ sampleParameter(const UncertainParameter &parameter,
 
 } // namespace
 
-MonteCarloResult
-monteCarlo(const std::vector<UncertainParameter> &parameters,
-           const std::function<double(const std::vector<double> &)>
-               &model,
-           std::size_t samples, std::uint64_t seed)
+void
+validateMonteCarloInputs(
+    const std::vector<UncertainParameter> &parameters,
+    std::size_t samples)
 {
-    TRACE_SPAN("dse.montecarlo", "monteCarlo");
-    g_runs.add();
-    g_samples.add(samples);
     if (parameters.empty())
         util::fatal("monteCarlo() needs at least one parameter");
     if (samples < 100)
@@ -66,50 +62,49 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
             util::fatal("parameter '", parameter.name,
                         "' has an empty range");
     }
+}
 
-    // Fixed-size chunks, each drawing from its own derived RNG stream:
-    // which samples land in which chunk -- and which stream produced
-    // them -- depends only on (samples, seed), so any thread count
-    // (including the serial fallback) yields bit-identical results.
-    struct Partial
-    {
-        std::vector<double> outputs;
-        double sum = 0.0;
-        double sum_squares = 0.0;
-    };
-    const std::vector<util::IndexRange> chunks =
-        util::staticChunks(0, samples, kMonteCarloChunk);
-    std::vector<Partial> partials(chunks.size());
-    util::runChunks(chunks, [&](std::size_t chunk,
-                                util::IndexRange range) {
-        util::Xorshift64Star rng(util::deriveSeed(seed, chunk));
-        std::vector<double> values(parameters.size());
-        Partial partial;
-        partial.outputs.reserve(range.size());
-        for (std::size_t s = range.begin; s < range.end; ++s) {
-            for (std::size_t i = 0; i < parameters.size(); ++i)
-                values[i] = sampleParameter(parameters[i], rng);
-            const double output = model(values);
-            partial.outputs.push_back(output);
-            partial.sum += output;
-            partial.sum_squares += output * output;
-        }
-        partials[chunk] = std::move(partial);
-    });
-
-    // Ordered reduction over the chunk-indexed partials.
-    TRACE_SPAN("dse.montecarlo", "reduce");
-    std::vector<double> outputs;
-    outputs.reserve(samples);
-    double sum = 0.0;
-    double sum_squares = 0.0;
-    for (Partial &partial : partials) {
-        outputs.insert(outputs.end(), partial.outputs.begin(),
-                       partial.outputs.end());
-        sum += partial.sum;
-        sum_squares += partial.sum_squares;
+MonteCarloPartial
+monteCarloChunk(const std::vector<UncertainParameter> &parameters,
+                const std::function<double(const std::vector<double> &)>
+                    &model,
+                util::IndexRange range, util::Xorshift64Star &rng)
+{
+    std::vector<double> values(parameters.size());
+    MonteCarloPartial partial;
+    partial.outputs.reserve(range.size());
+    for (std::size_t s = range.begin; s < range.end; ++s) {
+        for (std::size_t i = 0; i < parameters.size(); ++i)
+            values[i] = sampleParameter(parameters[i], rng);
+        const double output = model(values);
+        partial.outputs.push_back(output);
+        partial.sum += output;
+        partial.sum_squares += output * output;
     }
+    return partial;
+}
 
+MonteCarloPartial
+mergePartial(MonteCarloPartial accumulator, MonteCarloPartial part)
+{
+    accumulator.outputs.insert(accumulator.outputs.end(),
+                               part.outputs.begin(),
+                               part.outputs.end());
+    accumulator.sum += part.sum;
+    accumulator.sum_squares += part.sum_squares;
+    return accumulator;
+}
+
+MonteCarloResult
+finalizeMonteCarlo(std::size_t samples, MonteCarloPartial merged)
+{
+    TRACE_SPAN("dse.montecarlo", "finalize");
+    if (merged.outputs.size() != samples) {
+        util::panic("Monte Carlo merge produced ",
+                    merged.outputs.size(), " outputs for a ", samples,
+                    "-sample sweep");
+    }
+    std::vector<double> outputs = std::move(merged.outputs);
     std::sort(outputs.begin(), outputs.end());
     const auto percentile = [&outputs](double p) {
         const double index =
@@ -123,9 +118,9 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
 
     MonteCarloResult result;
     result.samples = samples;
-    result.mean = sum / static_cast<double>(samples);
+    result.mean = merged.sum / static_cast<double>(samples);
     const double variance =
-        sum_squares / static_cast<double>(samples) -
+        merged.sum_squares / static_cast<double>(samples) -
         result.mean * result.mean;
     result.stddev = std::sqrt(std::max(0.0, variance));
     result.p5 = percentile(0.05);
@@ -134,6 +129,39 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
     result.min = outputs.front();
     result.max = outputs.back();
     return result;
+}
+
+MonteCarloResult
+monteCarlo(const std::vector<UncertainParameter> &parameters,
+           const std::function<double(const std::vector<double> &)>
+               &model,
+           std::size_t samples, std::uint64_t seed)
+{
+    TRACE_SPAN("dse.montecarlo", "monteCarlo");
+    g_runs.add();
+    g_samples.add(samples);
+    validateMonteCarloInputs(parameters, samples);
+
+    // The sweep engine owns chunking, per-chunk derived RNG streams,
+    // and ordered reduction; the fixed grain keeps the chunk layout
+    // (and therefore every statistic) thread-count independent.
+    sweep::SweepPlan plan;
+    plan.domain = "dse.montecarlo";
+    plan.items = samples;
+    plan.grain = kMonteCarloChunk;
+    plan.seed = seed;
+    MonteCarloPartial merged = sweep::runSweep(
+        plan,
+        [&](std::size_t, util::IndexRange range,
+            util::Xorshift64Star &rng) {
+            return monteCarloChunk(parameters, model, range, rng);
+        },
+        [](MonteCarloPartial accumulator, MonteCarloPartial part) {
+            return mergePartial(std::move(accumulator),
+                                std::move(part));
+        },
+        MonteCarloPartial{});
+    return finalizeMonteCarlo(samples, std::move(merged));
 }
 
 } // namespace act::dse

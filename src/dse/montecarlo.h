@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "util/parallel.h"
+#include "util/random.h"
+
 namespace act::dse {
 
 /** Supported input distributions. */
@@ -56,6 +59,43 @@ struct MonteCarloResult
  * below -- is bit-identical for any thread count.
  */
 inline constexpr std::size_t kMonteCarloChunk = 2048;
+
+/**
+ * One chunk's contribution: the raw outputs in sampling order plus
+ * running sums. Partials merge in chunk order (mergePartial) and
+ * serialize through sweep/domains.h for multi-process sharding.
+ */
+struct MonteCarloPartial
+{
+    std::vector<double> outputs;
+    double sum = 0.0;
+    double sum_squares = 0.0;
+};
+
+/** Fatal on an empty parameter list, < 100 samples, or bad ranges. */
+void validateMonteCarloInputs(
+    const std::vector<UncertainParameter> &parameters,
+    std::size_t samples);
+
+/**
+ * Evaluate one chunk of the sweep: draw each sample's parameter
+ * vector from @p rng (the chunk's derived stream) and run @p model.
+ * Pure given (parameters, model, range, rng state) -- the shared
+ * kernel of the in-process and sharded execution paths.
+ */
+MonteCarloPartial
+monteCarloChunk(const std::vector<UncertainParameter> &parameters,
+                const std::function<double(const std::vector<double> &)>
+                    &model,
+                util::IndexRange range, util::Xorshift64Star &rng);
+
+/** Fold @p part into @p accumulator (chunk order required). */
+MonteCarloPartial mergePartial(MonteCarloPartial accumulator,
+                               MonteCarloPartial part);
+
+/** Summarize the merged outputs of all chunks of a @p samples sweep. */
+MonteCarloResult finalizeMonteCarlo(std::size_t samples,
+                                    MonteCarloPartial merged);
 
 /**
  * Run @p samples joint evaluations of @p model, sampling each input

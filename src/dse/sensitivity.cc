@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sweep/engine.h"
 #include "util/logging.h"
 #include "util/metrics.h"
-#include "util/parallel.h"
 #include "util/trace.h"
 
 namespace act::dse {
@@ -37,21 +37,24 @@ tornado(const std::vector<ParameterRange> &parameters,
     for (const auto &parameter : parameters)
         baseline.push_back(parameter.baseline);
 
-    // Each parameter's low/high pair is independent; evaluate them on
-    // the pool into pre-sized slots, then rank. The pre-sort order is
-    // the parameter order regardless of thread count, so ties rank
-    // identically in serial and parallel runs.
-    std::vector<TornadoEntry> entries(parameters.size());
-    util::parallelFor(0, parameters.size(), 1, [&](std::size_t i) {
-        std::vector<double> values = baseline;
-        TornadoEntry entry;
-        entry.name = parameters[i].name;
-        values[i] = parameters[i].low;
-        entry.output_low = model(values);
-        values[i] = parameters[i].high;
-        entry.output_high = model(values);
-        entries[i] = std::move(entry);
-    });
+    // Each parameter's low/high pair is independent; the sweep engine
+    // fills pre-sized slots (choosing the chunk granularity itself),
+    // then we rank. The pre-sort order is the parameter order
+    // regardless of thread count, so ties rank identically in serial
+    // and parallel runs.
+    std::vector<TornadoEntry> entries =
+        sweep::runSweepMap<TornadoEntry>(
+            sweep::SweepPlan::map("dse.tornado", parameters.size()),
+            [&](std::size_t i) {
+                std::vector<double> values = baseline;
+                TornadoEntry entry;
+                entry.name = parameters[i].name;
+                values[i] = parameters[i].low;
+                entry.output_low = model(values);
+                values[i] = parameters[i].high;
+                entry.output_high = model(values);
+                return entry;
+            });
 
     std::stable_sort(entries.begin(), entries.end(),
                      [](const TornadoEntry &a, const TornadoEntry &b) {

@@ -1,6 +1,6 @@
 #include "mobile/platform.h"
 
-#include "util/parallel.h"
+#include "sweep/engine.h"
 #include "util/trace.h"
 
 namespace act::mobile {
@@ -49,14 +49,13 @@ std::vector<core::DesignPoint>
 mobileDesignSpace(const core::FabParams &fab)
 {
     TRACE_SPAN("mobile.design_space", "mobileDesignSpace");
-    // Each SoC evaluates independently; fill pre-sized slots on the
-    // pool so the result keeps database order for any thread count.
+    // Each SoC evaluates independently; the sweep engine fills
+    // pre-sized slots so the result keeps database order for any
+    // thread count.
     const auto records = data::SocDatabase::instance().records();
-    std::vector<core::DesignPoint> points(records.size());
-    util::parallelFor(0, records.size(), 1, [&](std::size_t i) {
-        points[i] = designPoint(records[i], fab);
-    });
-    return points;
+    return sweep::runSweepMap<core::DesignPoint>(
+        sweep::SweepPlan::map("mobile", records.size()),
+        [&](std::size_t i) { return designPoint(records[i], fab); });
 }
 
 } // namespace act::mobile

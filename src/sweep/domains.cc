@@ -1,0 +1,331 @@
+#include "sweep/domains.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/embodied.h"
+#include "core/model_config.h"
+#include "data/soc_db.h"
+#include "mobile/platform.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace act::sweep {
+
+using config::JsonArray;
+using config::JsonObject;
+using config::JsonValue;
+
+namespace {
+
+/**
+ * Stamp (or verify) the model-config fingerprint. Every shard runs
+ * this, so shards built from different data vintages fail here rather
+ * than merging into a silently inconsistent result.
+ */
+void
+resolveFingerprint(SweepPlan &plan)
+{
+    const std::string current = core::modelConfigFingerprint();
+    if (plan.fingerprint.empty()) {
+        plan.fingerprint = current;
+    } else if (plan.fingerprint != current) {
+        util::fatal("sweep plan fingerprint ", plan.fingerprint,
+                    " does not match this build's model data (",
+                    current, ") -- the plan is stale; clear its "
+                    "'fingerprint' field to re-author it");
+    }
+}
+
+// ---------------------------------------------------------------------
+// cpa_montecarlo: Eq. 5 CPA uncertainty at a fixed node.
+// ---------------------------------------------------------------------
+
+/** How a sampled value lands in FabParams. */
+enum class FabField
+{
+    CiFab,
+    Yield,
+    Abatement,
+};
+
+struct CpaMonteCarloConfig
+{
+    double node_nm = 0.0;
+    core::FabParams base_fab;
+    std::vector<dse::UncertainParameter> parameters;
+    std::vector<FabField> fields;
+};
+
+CpaMonteCarloConfig
+parseCpaMonteCarloConfig(const SweepPlan &plan)
+{
+    if (!plan.config.isObject())
+        util::fatal("cpa_montecarlo plan needs a 'config' object");
+    CpaMonteCarloConfig parsed;
+    parsed.node_nm = plan.config.numberOr("node_nm", 0.0);
+    if (parsed.node_nm <= 0.0)
+        util::fatal("cpa_montecarlo config needs a positive 'node_nm'");
+    if (plan.config.contains("fab")) {
+        parsed.base_fab =
+            core::fabParamsFromJson(plan.config.at("fab"));
+    }
+    if (!plan.config.contains("parameters"))
+        util::fatal("cpa_montecarlo config needs a 'parameters' array");
+    for (const JsonValue &entry :
+         plan.config.at("parameters").asArray()) {
+        dse::UncertainParameter parameter;
+        parameter.name = entry.at("name").asString();
+        const std::string distribution =
+            entry.stringOr("distribution", "uniform");
+        if (distribution == "uniform") {
+            parameter.distribution = dse::Distribution::Uniform;
+        } else if (distribution == "triangular") {
+            parameter.distribution = dse::Distribution::Triangular;
+        } else {
+            util::fatal("unknown distribution '", distribution,
+                        "' (expected 'uniform' or 'triangular')");
+        }
+        parameter.low = entry.at("low").asNumber();
+        parameter.high = entry.at("high").asNumber();
+        parameter.baseline = entry.numberOr(
+            "baseline", (parameter.low + parameter.high) / 2.0);
+
+        FabField field;
+        if (parameter.name == "ci_fab_g_per_kwh") {
+            field = FabField::CiFab;
+        } else if (parameter.name == "yield") {
+            field = FabField::Yield;
+        } else if (parameter.name == "abatement") {
+            field = FabField::Abatement;
+        } else {
+            util::fatal("unknown cpa_montecarlo parameter '",
+                        parameter.name, "' (expected "
+                        "'ci_fab_g_per_kwh', 'yield', or 'abatement')");
+        }
+        parsed.parameters.push_back(std::move(parameter));
+        parsed.fields.push_back(field);
+    }
+    return parsed;
+}
+
+std::function<double(const std::vector<double> &)>
+cpaModel(const CpaMonteCarloConfig &config)
+{
+    return [config](const std::vector<double> &values) {
+        core::FabParams fab = config.base_fab;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            switch (config.fields[i]) {
+              case FabField::CiFab:
+                fab.ci_fab = util::gramsPerKilowattHour(values[i]);
+                break;
+              case FabField::Yield:
+                fab.yield = values[i];
+                break;
+              case FabField::Abatement:
+                fab.abatement = values[i];
+                break;
+            }
+        }
+        return core::carbonPerArea(fab, config.node_nm).value();
+    };
+}
+
+void
+prepareCpaMonteCarlo(SweepPlan &plan)
+{
+    if (plan.items == 0)
+        plan.items = 10'000;
+    if (plan.grain == 0)
+        plan.grain = dse::kMonteCarloChunk;
+    const CpaMonteCarloConfig config = parseCpaMonteCarloConfig(plan);
+    dse::validateMonteCarloInputs(config.parameters, plan.items);
+    resolveFingerprint(plan);
+}
+
+JsonChunkEvaluator
+cpaMonteCarloEvaluator(const SweepPlan &plan)
+{
+    // Parsed once; shared read-only by every concurrent chunk.
+    auto config = std::make_shared<const CpaMonteCarloConfig>(
+        parseCpaMonteCarloConfig(plan));
+    auto model = cpaModel(*config);
+    return [config, model](std::size_t, util::IndexRange range,
+                           util::Xorshift64Star &rng) {
+        return toJson(dse::monteCarloChunk(config->parameters, model,
+                                           range, rng));
+    };
+}
+
+std::string
+summarizeCpaMonteCarlo(const SweepPlan &plan, const JsonArray &results)
+{
+    const dse::MonteCarloResult result =
+        monteCarloResultFromPayloads(plan.items, results);
+    std::ostringstream out;
+    out << "CPA Monte Carlo, " << result.samples << " samples: mean "
+        << util::formatSig(result.mean, 4) << " g CO2/cm2, stddev "
+        << util::formatSig(result.stddev, 3) << ", p5/p50/p95 "
+        << util::formatSig(result.p5, 4) << " / "
+        << util::formatSig(result.p50, 4) << " / "
+        << util::formatSig(result.p95, 4) << "\n";
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// mobile: the Fig. 8 SoC design space.
+// ---------------------------------------------------------------------
+
+core::FabParams
+mobileFab(const SweepPlan &plan)
+{
+    if (plan.config.isObject() && plan.config.contains("fab"))
+        return core::fabParamsFromJson(plan.config.at("fab"));
+    return core::FabParams{};
+}
+
+void
+prepareMobile(SweepPlan &plan)
+{
+    const std::size_t socs =
+        data::SocDatabase::instance().records().size();
+    if (plan.items == 0)
+        plan.items = socs;
+    else if (plan.items != socs)
+        util::fatal("mobile sweep plan pins ", plan.items,
+                    " items but the SoC database has ", socs);
+    mobileFab(plan); // validate any fab override now, on every shard
+    resolveFingerprint(plan);
+}
+
+JsonValue
+designPointToJson(const core::DesignPoint &point)
+{
+    JsonObject object;
+    object["name"] = JsonValue(point.name);
+    object["embodied_kg"] =
+        JsonValue(util::asKilograms(point.embodied));
+    object["energy_j"] = JsonValue(util::asJoules(point.energy));
+    object["delay_s"] = JsonValue(util::asSeconds(point.delay));
+    object["area_mm2"] =
+        JsonValue(util::asSquareMillimeters(point.area));
+    return JsonValue(std::move(object));
+}
+
+JsonChunkEvaluator
+mobileEvaluator(const SweepPlan &plan)
+{
+    const core::FabParams fab = mobileFab(plan);
+    return [fab](std::size_t, util::IndexRange range,
+                 util::Xorshift64Star &) {
+        const auto records = data::SocDatabase::instance().records();
+        JsonArray points;
+        points.reserve(range.size());
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+            points.push_back(designPointToJson(
+                mobile::designPoint(records[i], fab)));
+        }
+        return JsonValue(std::move(points));
+    };
+}
+
+std::string
+summarizeMobile(const SweepPlan &, const JsonArray &results)
+{
+    std::size_t count = 0;
+    std::string best_name;
+    double best_kg = 0.0;
+    for (const JsonValue &chunk : results) {
+        for (const JsonValue &point : chunk.asArray()) {
+            const double kg = point.at("embodied_kg").asNumber();
+            if (count == 0 || kg < best_kg) {
+                best_kg = kg;
+                best_name = point.at("name").asString();
+            }
+            ++count;
+        }
+    }
+    std::ostringstream out;
+    out << "mobile design space, " << count
+        << " SoCs: minimum embodied " << util::formatSig(best_kg, 3)
+        << " kg CO2 (" << best_name << ")\n";
+    return out.str();
+}
+
+constexpr Domain kDomains[] = {
+    {"cpa_montecarlo", prepareCpaMonteCarlo, cpaMonteCarloEvaluator,
+     summarizeCpaMonteCarlo},
+    {"mobile", prepareMobile, mobileEvaluator, summarizeMobile},
+};
+
+} // namespace
+
+const Domain &
+findDomain(std::string_view name)
+{
+    for (const Domain &domain : kDomains) {
+        if (domain.name == name)
+            return domain;
+    }
+    std::string known;
+    for (const std::string_view known_name : domainNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += known_name;
+    }
+    util::fatal("unknown sweep domain '", std::string(name),
+                "' (known: ", known, ")");
+}
+
+std::vector<std::string_view>
+domainNames()
+{
+    std::vector<std::string_view> names;
+    for (const Domain &domain : kDomains)
+        names.push_back(domain.name);
+    return names;
+}
+
+JsonValue
+toJson(const dse::MonteCarloPartial &partial)
+{
+    JsonObject object;
+    JsonArray outputs;
+    outputs.reserve(partial.outputs.size());
+    for (const double output : partial.outputs)
+        outputs.push_back(JsonValue(output));
+    object["outputs"] = JsonValue(std::move(outputs));
+    object["sum"] = JsonValue(partial.sum);
+    object["sum_squares"] = JsonValue(partial.sum_squares);
+    return JsonValue(std::move(object));
+}
+
+dse::MonteCarloPartial
+monteCarloPartialFromJson(const JsonValue &value)
+{
+    dse::MonteCarloPartial partial;
+    const JsonArray &outputs = value.at("outputs").asArray();
+    partial.outputs.reserve(outputs.size());
+    for (const JsonValue &output : outputs)
+        partial.outputs.push_back(output.asNumber());
+    partial.sum = value.at("sum").asNumber();
+    partial.sum_squares = value.at("sum_squares").asNumber();
+    return partial;
+}
+
+dse::MonteCarloResult
+monteCarloResultFromPayloads(std::size_t samples,
+                             const JsonArray &results)
+{
+    dse::MonteCarloPartial merged;
+    merged.outputs.reserve(samples);
+    for (const JsonValue &payload : results) {
+        merged = dse::mergePartial(std::move(merged),
+                                   monteCarloPartialFromJson(payload));
+    }
+    return dse::finalizeMonteCarlo(samples, std::move(merged));
+}
+
+} // namespace act::sweep

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Registered sweep domains: the named evaluators `act sweep` can run
+ * from a serialized SweepPlan, plus the JSON codecs that move their
+ * chunk payloads between processes.
+ *
+ *  - "cpa_montecarlo": Monte Carlo uncertainty propagation of the
+ *    Eq. 5 carbon-per-area model over uncertain fab parameters
+ *    (ci_fab_g_per_kwh / yield / abatement), at a fixed node. The
+ *    sharded result is bit-identical to an in-process
+ *    dse::monteCarlo() call with the same inputs.
+ *  - "mobile": the Fig. 8 mobile-SoC design space; one item per SoC
+ *    record, payloads carry the evaluated design points.
+ *
+ * Domains are separate from the engine so the engine stays free of
+ * model dependencies (engine: util + config only; domains: dse,
+ * mobile, core).
+ */
+
+#ifndef ACT_SWEEP_DOMAINS_H
+#define ACT_SWEEP_DOMAINS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dse/montecarlo.h"
+#include "sweep/engine.h"
+
+namespace act::sweep {
+
+/** One named sweep evaluator the CLI can execute from a plan file. */
+struct Domain
+{
+    std::string_view name;
+    /**
+     * Resolve a loaded plan for execution: fill a zero item count and
+     * an automatic grain with the domain's defaults, validate the
+     * domain config, and stamp (or check) the model-config
+     * fingerprint. Fatal when the plan was authored against different
+     * model data -- every shard of a sweep must resolve identically.
+     */
+    void (*prepare)(SweepPlan &plan);
+    /** Chunk evaluator bound to the (prepared) plan's config. */
+    JsonChunkEvaluator (*evaluator)(const SweepPlan &plan);
+    /** Human summary of a merged result document's payload array. */
+    std::string (*summarize)(const SweepPlan &plan,
+                             const config::JsonArray &results);
+};
+
+/** Look up a registered domain; fatal with the known names on miss. */
+const Domain &findDomain(std::string_view name);
+
+/** Registered domain names, for help text and error messages. */
+std::vector<std::string_view> domainNames();
+
+/** Chunk payload codec for Monte Carlo partials (bit-exact doubles). */
+config::JsonValue toJson(const dse::MonteCarloPartial &partial);
+dse::MonteCarloPartial
+monteCarloPartialFromJson(const config::JsonValue &value);
+
+/**
+ * Reassemble a merged result document's payload array into the final
+ * Monte Carlo summary (equivalent to running dse::monteCarlo whole).
+ */
+dse::MonteCarloResult
+monteCarloResultFromPayloads(std::size_t samples,
+                             const config::JsonArray &results);
+
+} // namespace act::sweep
+
+#endif // ACT_SWEEP_DOMAINS_H

@@ -1,0 +1,235 @@
+#include "sweep/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace act::sweep {
+
+using config::JsonArray;
+using config::JsonObject;
+using config::JsonValue;
+
+namespace {
+
+constexpr const char *kPartialFormat = "act.sweep.partial.v1";
+constexpr const char *kResultFormat = "act.sweep.result.v1";
+
+struct SweepInstruments
+{
+    util::Counter &runs =
+        util::MetricsRegistry::instance().counter("sweep.runs");
+    util::Counter &items =
+        util::MetricsRegistry::instance().counter("sweep.items");
+    util::Counter &chunks =
+        util::MetricsRegistry::instance().counter("sweep.chunks");
+};
+
+SweepInstruments &
+sweepInstruments()
+{
+    static SweepInstruments *instruments = new SweepInstruments;
+    return *instruments;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+runPlanChunks(
+    const SweepPlan &plan, const std::vector<util::IndexRange> &chunks,
+    std::size_t chunk_offset,
+    const std::function<void(std::size_t, util::IndexRange)> &body)
+{
+    util::TraceSpan span("sweep", plan.domain);
+    SweepInstruments &instruments = sweepInstruments();
+    instruments.runs.add();
+    instruments.chunks.add(chunks.size());
+    for (const util::IndexRange &chunk : chunks)
+        instruments.items.add(chunk.size());
+    util::runChunks(chunks,
+                    [&](std::size_t local, util::IndexRange range) {
+                        body(chunk_offset + local, range);
+                    });
+}
+
+std::size_t
+mapGrain(std::size_t items)
+{
+    // A few chunks per worker keeps dynamic load balancing while
+    // bounding pool ticket traffic; tiny sweeps degrade gracefully to
+    // one item per chunk.
+    constexpr std::size_t kChunksPerWorker = 4;
+    return std::max<std::size_t>(
+        1, items / (kChunksPerWorker * util::threadCount()));
+}
+
+} // namespace detail
+
+ShardResult
+runShardedSweep(const SweepPlan &plan, const ShardSpec &shard,
+                const JsonChunkEvaluator &evaluator)
+{
+    if (plan.items == 0)
+        util::fatal("sweep plan '", plan.domain, "' has no items");
+    const std::vector<util::IndexRange> chunks = planChunks(plan);
+    const util::IndexRange owned =
+        shardChunkRange(chunks.size(), shard);
+
+    ShardResult result;
+    result.plan = plan;
+    result.shard = shard;
+    result.chunk_begin = owned.begin;
+    result.chunks.resize(owned.size());
+
+    const std::vector<util::IndexRange> owned_chunks(
+        chunks.begin() + static_cast<std::ptrdiff_t>(owned.begin),
+        chunks.begin() + static_cast<std::ptrdiff_t>(owned.end));
+    detail::runPlanChunks(
+        plan, owned_chunks, owned.begin,
+        [&](std::size_t chunk, util::IndexRange range) {
+            // Streams derive from the *global* chunk index, so a
+            // shard samples exactly what the full run would.
+            util::Xorshift64Star rng(
+                util::deriveSeed(plan.seed, chunk));
+            result.chunks[chunk - owned.begin] =
+                evaluator(chunk, range, rng);
+        });
+    return result;
+}
+
+JsonValue
+toJson(const ShardResult &result)
+{
+    JsonObject object;
+    object["format"] = JsonValue(kPartialFormat);
+    object["plan"] = toJson(result.plan);
+    object["shard_count"] =
+        JsonValue(static_cast<double>(result.shard.shard_count));
+    object["shard_index"] =
+        JsonValue(static_cast<double>(result.shard.shard_index));
+    object["chunk_begin"] =
+        JsonValue(static_cast<double>(result.chunk_begin));
+    object["chunks"] = JsonValue(JsonArray(result.chunks));
+    return JsonValue(std::move(object));
+}
+
+ShardResult
+shardResultFromJson(const JsonValue &value)
+{
+    const std::string format = value.stringOr("format", "");
+    if (format != kPartialFormat)
+        util::fatal("not a sweep partial file (format '", format,
+                    "', expected '", kPartialFormat, "')");
+    ShardResult result;
+    result.plan = sweepPlanFromJson(value.at("plan"));
+    result.shard.shard_count = static_cast<std::size_t>(
+        value.at("shard_count").asInteger());
+    result.shard.shard_index = static_cast<std::size_t>(
+        value.at("shard_index").asInteger());
+    validateShard(result.shard);
+    result.chunk_begin = static_cast<std::size_t>(
+        value.at("chunk_begin").asInteger());
+    result.chunks = value.at("chunks").asArray();
+    return result;
+}
+
+namespace {
+
+/** The canonical result document both execution paths emit. */
+JsonValue
+resultDocument(const SweepPlan &plan, JsonArray payloads)
+{
+    JsonObject object;
+    object["format"] = JsonValue(kResultFormat);
+    object["plan"] = toJson(plan);
+    object["results"] = JsonValue(std::move(payloads));
+    return JsonValue(std::move(object));
+}
+
+} // namespace
+
+JsonValue
+mergeShards(const std::vector<ShardResult> &shards)
+{
+    if (shards.empty())
+        util::fatal("mergeShards() needs at least one partial");
+
+    const SweepPlan &plan = shards.front().plan;
+    const std::string plan_dump = toJson(plan).dump();
+    const std::size_t shard_count = shards.front().shard.shard_count;
+    const std::size_t chunk_count = planChunks(plan).size();
+
+    if (shards.size() != shard_count) {
+        util::fatal("merge expects ", shard_count, " partials (from "
+                    "--shards ", shard_count, "), got ", shards.size());
+    }
+
+    std::vector<const ShardResult *> by_index(shard_count, nullptr);
+    for (const ShardResult &shard : shards) {
+        if (toJson(shard.plan).dump() != plan_dump) {
+            util::fatal("cannot merge partials from different sweep "
+                        "plans (domain/items/grain/seed/fingerprint "
+                        "must all match)");
+        }
+        if (shard.shard.shard_count != shard_count)
+            util::fatal("cannot merge partials with different shard "
+                        "counts (", shard.shard.shard_count, " vs ",
+                        shard_count, ")");
+        const std::size_t index = shard.shard.shard_index;
+        if (by_index[index] != nullptr)
+            util::fatal("duplicate partial for shard ", index,
+                        " -- refusing to merge overlapping results");
+        by_index[index] = &shard;
+    }
+
+    JsonArray payloads;
+    payloads.reserve(chunk_count);
+    std::size_t next_chunk = 0;
+    for (std::size_t index = 0; index < shard_count; ++index) {
+        const ShardResult &shard = *by_index[index];
+        const util::IndexRange owned =
+            shardChunkRange(chunk_count, shard.shard);
+        if (shard.chunk_begin != owned.begin ||
+            shard.chunks.size() != owned.size()) {
+            util::fatal("partial for shard ", index, " covers chunks [",
+                        shard.chunk_begin, ", ",
+                        shard.chunk_begin + shard.chunks.size(),
+                        ") but the plan assigns [", owned.begin, ", ",
+                        owned.end, ")");
+        }
+        if (owned.begin != next_chunk)
+            util::panic("shard chunk ranges do not tile the sweep");
+        next_chunk = owned.end;
+        payloads.insert(payloads.end(), shard.chunks.begin(),
+                        shard.chunks.end());
+    }
+    if (next_chunk != chunk_count)
+        util::panic("merged shards cover ", next_chunk, " of ",
+                    chunk_count, " chunks");
+    return resultDocument(plan, std::move(payloads));
+}
+
+JsonValue
+fullSweepResult(const SweepPlan &plan,
+                const JsonChunkEvaluator &evaluator)
+{
+    if (plan.items == 0)
+        util::fatal("sweep plan '", plan.domain, "' has no items");
+    JsonArray payloads(planChunks(plan).size());
+    const std::vector<util::IndexRange> chunks = planChunks(plan);
+    detail::runPlanChunks(
+        plan, chunks, 0,
+        [&](std::size_t chunk, util::IndexRange range) {
+            util::Xorshift64Star rng(
+                util::deriveSeed(plan.seed, chunk));
+            payloads[chunk] = evaluator(chunk, range, rng);
+        });
+    return resultDocument(plan, std::move(payloads));
+}
+
+} // namespace act::sweep

@@ -1,0 +1,63 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace act::util {
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback, std::int64_t min,
+       std::int64_t max)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    char *tail = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(env, &tail, 10);
+    if (tail != env && *tail == '\0' && errno != ERANGE &&
+        parsed >= min && parsed <= max) {
+        return static_cast<std::int64_t>(parsed);
+    }
+    warn("ignoring invalid ", name, " value '", std::string(env),
+         "' (expected an integer in [", min, ", ", max,
+         "]); using default");
+    return fallback;
+}
+
+bool
+envBool(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+        std::strcmp(env, "on") == 0) {
+        return true;
+    }
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+        std::strcmp(env, "off") == 0) {
+        return false;
+    }
+    warn("ignoring invalid ", name, " value '", std::string(env),
+         "' (expected 0/1, true/false, or on/off); using default");
+    return fallback;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    if (*env == '\0') {
+        warn("ignoring empty ", name, " value; using default");
+        return fallback;
+    }
+    return env;
+}
+
+} // namespace act::util

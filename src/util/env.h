@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Validated environment-variable parsing shared by every ACT_* knob
+ * (ACT_THREADS, ACT_METRICS, ACT_CPA_CACHE, ACT_CPA_CACHE_FILE, ...).
+ * One policy everywhere: an unset variable silently yields the
+ * fallback; a garbage value emits one warn() and yields the fallback,
+ * never a crash or a silently wrapped number.
+ */
+
+#ifndef ACT_UTIL_ENV_H
+#define ACT_UTIL_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace act::util {
+
+/**
+ * Parse environment variable @p name as an integer in
+ * [@p min, @p max]. Returns @p fallback when the variable is unset;
+ * warns and returns @p fallback when the value is non-numeric, has
+ * trailing characters, or is out of range.
+ */
+std::int64_t envInt(const char *name, std::int64_t fallback,
+                    std::int64_t min, std::int64_t max);
+
+/**
+ * Parse environment variable @p name as a boolean: "1"/"true"/"on"
+ * and "0"/"false"/"off" are accepted. Returns @p fallback when unset;
+ * warns and returns @p fallback on anything else.
+ */
+bool envBool(const char *name, bool fallback);
+
+/**
+ * Environment variable @p name as a string, or @p fallback when the
+ * variable is unset or empty (an empty value warns: it is always a
+ * mistake for the path-valued ACT_* variables this serves).
+ */
+std::string envString(const char *name, const std::string &fallback);
+
+} // namespace act::util
+
+#endif // ACT_UTIL_ENV_H

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "util/csv.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -25,15 +26,8 @@ struct MetricsEnvInit
 {
     MetricsEnvInit()
     {
-        const char *env = std::getenv("ACT_METRICS");
-        if (env == nullptr)
-            return;
-        if (std::strcmp(env, "1") == 0) {
+        if (envBool("ACT_METRICS", false))
             g_metrics_enabled.store(true, std::memory_order_relaxed);
-        } else if (std::strcmp(env, "0") != 0) {
-            warn("ignoring invalid ACT_METRICS value '", env,
-                 "' (expected 0 or 1)");
-        }
     }
 } g_metrics_env_init;
 

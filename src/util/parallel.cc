@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -27,23 +27,15 @@ std::atomic<std::size_t> g_thread_override{0};
 std::size_t
 autoThreadCount()
 {
-    // Parse ACT_THREADS once; the hardware count is the fallback.
-    // strtoll (not strtoul) so negative values are rejected instead of
-    // wrapping to an enormous worker count.
+    // Parse ACT_THREADS once; the hardware count is the fallback (a
+    // sentinel 0 from envInt means unset or invalid, both warned about
+    // by the shared parser when the value is garbage).
     static const std::size_t resolved = [] {
-        if (const char *env = std::getenv("ACT_THREADS")) {
-            char *tail = nullptr;
-            errno = 0;
-            const long long parsed = std::strtoll(env, &tail, 10);
-            if (tail != env && *tail == '\0' && errno != ERANGE &&
-                parsed >= 1) {
-                return static_cast<std::size_t>(parsed);
-            }
-            warn("ignoring invalid ACT_THREADS value '",
-                 std::string(env),
-                 "' (expected a positive integer); using hardware "
-                 "concurrency");
-        }
+        const std::int64_t parsed = envInt(
+            "ACT_THREADS", 0, 1,
+            std::numeric_limits<std::int64_t>::max());
+        if (parsed >= 1)
+            return static_cast<std::size_t>(parsed);
         const unsigned hardware = std::thread::hardware_concurrency();
         return static_cast<std::size_t>(hardware >= 1 ? hardware : 1);
     }();

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for CPA-cache persistence: a saved cache file reloads to the
+ * exact values the model would recompute, and stale or corrupt files
+ * degrade to a warned cold start, never to wrong numbers.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "config/json.h"
+#include "core/cpa_cache.h"
+#include "core/embodied.h"
+#include "core/model_config.h"
+#include "data/fab_db.h"
+
+namespace act::core {
+namespace {
+
+class CpaCachePersistTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "act_cpa_cache_test.json";
+        std::remove(path_.c_str());
+        CpaCache::instance().setEnabled(true);
+        CpaCache::instance().clear();
+        CpaCache::instance().resetStats();
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+        CpaCache::instance().setEnabled(true);
+        CpaCache::instance().clear();
+    }
+
+    /** Warm the cache over a spread of (fab, node) points. */
+    std::size_t
+    populate()
+    {
+        std::size_t entries = 0;
+        for (const double abatement : {0.90, 0.95, 0.97}) {
+            FabParams fab;
+            fab.abatement = abatement;
+            for (double nm = data::FabDatabase::kMinNode;
+                 nm <= data::FabDatabase::kMaxNode; nm += 1.0) {
+                carbonPerArea(fab, nm);
+                ++entries;
+            }
+        }
+        for (const auto &record :
+             data::FabDatabase::instance().records()) {
+            carbonPerAreaNamed(FabParams{}, record.name);
+            ++entries;
+        }
+        return entries;
+    }
+
+    std::string path_;
+};
+
+TEST_F(CpaCachePersistTest, SaveLoadRoundTripMatchesRecomputation)
+{
+    CpaCache &cache = CpaCache::instance();
+    const std::size_t entries = populate();
+    EXPECT_EQ(cache.size(), entries);
+    cache.saveToFile(path_);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.loadFromFile(path_), entries);
+    EXPECT_EQ(cache.size(), entries);
+
+    // Every loaded entry must be a hit, and bit-equal to what the
+    // uncached model computes.
+    cache.resetStats();
+    for (const double abatement : {0.90, 0.95, 0.97}) {
+        FabParams fab;
+        fab.abatement = abatement;
+        for (double nm = data::FabDatabase::kMinNode;
+             nm <= data::FabDatabase::kMaxNode; nm += 1.0) {
+            const double warm = carbonPerArea(fab, nm).value();
+            cache.setEnabled(false);
+            const double fresh = carbonPerArea(fab, nm).value();
+            cache.setEnabled(true);
+            EXPECT_EQ(warm, fresh)
+                << "nm=" << nm << " abatement=" << abatement;
+        }
+    }
+    for (const auto &record :
+         data::FabDatabase::instance().records()) {
+        const double warm =
+            carbonPerAreaNamed(FabParams{}, record.name).value();
+        cache.setEnabled(false);
+        const double fresh =
+            carbonPerAreaNamed(FabParams{}, record.name).value();
+        cache.setEnabled(true);
+        EXPECT_EQ(warm, fresh) << record.name;
+    }
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST_F(CpaCachePersistTest, SavedFileIsDeterministic)
+{
+    populate();
+    CpaCache::instance().saveToFile(path_);
+    std::ifstream first_in(path_);
+    std::string first((std::istreambuf_iterator<char>(first_in)),
+                      std::istreambuf_iterator<char>());
+
+    // Reload into a cleared cache (different insertion history) and
+    // save again: shards of one sweep sharing a file must converge on
+    // identical bytes for identical entries.
+    CpaCache::instance().clear();
+    CpaCache::instance().loadFromFile(path_);
+    populate();
+    CpaCache::instance().saveToFile(path_);
+    std::ifstream second_in(path_);
+    std::string second((std::istreambuf_iterator<char>(second_in)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(CpaCachePersistTest, StaleFingerprintIsIgnored)
+{
+    CpaCache &cache = CpaCache::instance();
+    populate();
+    cache.saveToFile(path_);
+
+    config::JsonValue doc = config::loadJsonFile(path_);
+    ASSERT_EQ(doc.at("fingerprint").asString(),
+              modelConfigFingerprint());
+    doc.asObject()["fingerprint"] =
+        config::JsonValue("0000000000000000");
+    config::saveJsonFile(path_, doc);
+
+    cache.clear();
+    EXPECT_EQ(cache.loadFromFile(path_), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(CpaCachePersistTest, CorruptFileWarnsAndStartsCold)
+{
+    {
+        std::ofstream out(path_);
+        out << "{\"format\": \"act.cpa_cache.v1\", truncated";
+    }
+    CpaCache &cache = CpaCache::instance();
+    EXPECT_EQ(cache.loadFromFile(path_), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Well-formed JSON with malformed entries is equally cold.
+    {
+        std::ofstream out(path_);
+        out << "{\"format\": \"act.cpa_cache.v1\", \"fingerprint\": \""
+            << modelConfigFingerprint()
+            << "\", \"numeric\": [{\"ci_fab\": \"xyz\"}], "
+               "\"named\": []}";
+    }
+    EXPECT_EQ(cache.loadFromFile(path_), 0u);
+}
+
+TEST_F(CpaCachePersistTest, MissingFileIsSilentColdStart)
+{
+    EXPECT_EQ(CpaCache::instance().loadFromFile(
+                  path_ + ".does-not-exist"),
+              0u);
+}
+
+TEST_F(CpaCachePersistTest, WrongFormatTagIsIgnored)
+{
+    {
+        std::ofstream out(path_);
+        out << "{\"format\": \"act.other.v9\", \"numeric\": [], "
+               "\"named\": []}";
+    }
+    EXPECT_EQ(CpaCache::instance().loadFromFile(path_), 0u);
+}
+
+} // namespace
+} // namespace act::core

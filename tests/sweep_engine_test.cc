@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the unified sweep engine: plan serialization, shard
+ * tiling, and the core contract -- a sweep split across shards and
+ * merged is byte-identical to the single-process run, for any shard
+ * count and any thread count.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/embodied.h"
+#include "core/fab_params.h"
+#include "core/model_config.h"
+#include "dse/montecarlo.h"
+#include "sweep/domains.h"
+#include "sweep/engine.h"
+#include "sweep/plan.h"
+#include "util/parallel.h"
+#include "util/units.h"
+
+namespace act::sweep {
+namespace {
+
+class SweepEngineTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { util::setThreadCount(0); }
+};
+
+// ---------------------------------------------------------------------
+// Plan serialization
+// ---------------------------------------------------------------------
+
+TEST_F(SweepEngineTest, PlanJsonRoundTrip)
+{
+    SweepPlan plan;
+    plan.domain = "cpa_montecarlo";
+    plan.items = 12'345;
+    plan.grain = 512;
+    plan.seed = 977;
+    plan.fingerprint = core::modelConfigFingerprint();
+    config::JsonObject domain_config;
+    domain_config["node_nm"] = config::JsonValue(14.0);
+    plan.config = config::JsonValue(std::move(domain_config));
+
+    const std::string dumped = toJson(plan).dump();
+    const SweepPlan parsed =
+        sweepPlanFromJson(config::JsonValue::parse(dumped));
+    EXPECT_EQ(parsed.domain, plan.domain);
+    EXPECT_EQ(parsed.items, plan.items);
+    EXPECT_EQ(parsed.grain, plan.grain);
+    EXPECT_EQ(parsed.seed, plan.seed);
+    EXPECT_EQ(parsed.fingerprint, plan.fingerprint);
+    // Re-serializing must reproduce the document exactly; shard-merge
+    // plan comparison depends on this.
+    EXPECT_EQ(toJson(parsed).dump(), dumped);
+}
+
+TEST_F(SweepEngineTest, PlanRoundTripsSeedsBeyondDoublePrecision)
+{
+    SweepPlan plan;
+    plan.domain = "mobile";
+    plan.seed = (1ULL << 62) + 3'141'592'653ULL;
+    const SweepPlan parsed = sweepPlanFromJson(
+        config::JsonValue::parse(toJson(plan).dump()));
+    EXPECT_EQ(parsed.seed, plan.seed);
+}
+
+TEST_F(SweepEngineTest, PlanRequiresDomain)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(sweepPlanFromJson(config::JsonValue::parse("{}")),
+                ::testing::ExitedWithCode(1), "");
+}
+
+// ---------------------------------------------------------------------
+// Shard tiling
+// ---------------------------------------------------------------------
+
+TEST_F(SweepEngineTest, ShardsTileChunksExactly)
+{
+    for (const std::size_t chunks : {1u, 2u, 5u, 13u, 64u}) {
+        for (const std::size_t shards : {1u, 2u, 3u, 5u, 13u}) {
+            std::size_t covered = 0;
+            std::size_t previous_end = 0;
+            for (std::size_t i = 0; i < shards; ++i) {
+                const util::IndexRange range =
+                    shardChunkRange(chunks, {shards, i});
+                EXPECT_EQ(range.begin, previous_end)
+                    << chunks << " chunks, shard " << i << "/" << shards;
+                previous_end = range.end;
+                covered += range.size();
+            }
+            EXPECT_EQ(previous_end, chunks);
+            EXPECT_EQ(covered, chunks);
+        }
+    }
+}
+
+TEST_F(SweepEngineTest, InvalidShardSpecIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(validateShard({0, 0}), ::testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(validateShard({3, 3}), ::testing::ExitedWithCode(1),
+                "");
+}
+
+// ---------------------------------------------------------------------
+// Shard-vs-single bit-identity
+// ---------------------------------------------------------------------
+
+/** A 10k-sample CPA Monte Carlo plan (5 chunks of 2048). */
+SweepPlan
+monteCarloPlan()
+{
+    const std::string text = R"({
+        "domain": "cpa_montecarlo",
+        "items": 10000,
+        "seed": 42,
+        "config": {
+            "node_nm": 14,
+            "parameters": [
+                {"name": "ci_fab_g_per_kwh", "distribution": "uniform",
+                 "low": 30, "high": 700},
+                {"name": "yield", "distribution": "triangular",
+                 "low": 0.8, "baseline": 0.875, "high": 0.95},
+                {"name": "abatement", "distribution": "uniform",
+                 "low": 0.9, "high": 1.0}
+            ]
+        }
+    })";
+    SweepPlan plan =
+        sweepPlanFromJson(config::JsonValue::parse(text));
+    findDomain(plan.domain).prepare(plan);
+    return plan;
+}
+
+TEST_F(SweepEngineTest, ShardedMergeIsByteIdenticalToSingleProcess)
+{
+    const SweepPlan plan = monteCarloPlan();
+    const Domain &domain = findDomain(plan.domain);
+
+    util::setThreadCount(1);
+    const std::string reference =
+        fullSweepResult(plan, domain.evaluator(plan)).dump();
+
+    for (const std::size_t threads : {1u, 7u}) {
+        util::setThreadCount(threads);
+        EXPECT_EQ(fullSweepResult(plan, domain.evaluator(plan)).dump(),
+                  reference)
+            << "single-process, " << threads << " threads";
+        for (const std::size_t shard_count : {1u, 2u, 5u}) {
+            std::vector<ShardResult> partials;
+            for (std::size_t i = 0; i < shard_count; ++i) {
+                // Round-trip every partial through its file format,
+                // exactly as the multi-process path would.
+                const ShardResult partial = runShardedSweep(
+                    plan, {shard_count, i}, domain.evaluator(plan));
+                partials.push_back(
+                    shardResultFromJson(toJson(partial)));
+            }
+            EXPECT_EQ(mergeShards(partials).dump(), reference)
+                << shard_count << " shards, " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST_F(SweepEngineTest, MergedResultMatchesInProcessMonteCarlo)
+{
+    const SweepPlan plan = monteCarloPlan();
+    const Domain &domain = findDomain(plan.domain);
+
+    std::vector<ShardResult> partials;
+    for (std::size_t i = 0; i < 3; ++i)
+        partials.push_back(
+            runShardedSweep(plan, {3, i}, domain.evaluator(plan)));
+    const config::JsonValue merged = mergeShards(partials);
+    const dse::MonteCarloResult sharded =
+        monteCarloResultFromPayloads(
+            plan.items, merged.at("results").asArray());
+
+    // The same sweep evaluated wholly in process, through
+    // dse::monteCarlo, with a hand-built model identical to the
+    // domain's: every statistic must agree bit-for-bit.
+    std::vector<dse::UncertainParameter> parameters(3);
+    parameters[0] = {"ci_fab", dse::Distribution::Uniform, 365.0, 30.0,
+                     700.0};
+    parameters[1] = {"yield", dse::Distribution::Triangular, 0.875,
+                     0.8, 0.95};
+    parameters[2] = {"abatement", dse::Distribution::Uniform, 0.95,
+                     0.9, 1.0};
+    const auto model = [](const std::vector<double> &values) {
+        core::FabParams fab;
+        fab.ci_fab = util::gramsPerKilowattHour(values[0]);
+        fab.yield = values[1];
+        fab.abatement = values[2];
+        return core::carbonPerArea(fab, 14.0).value();
+    };
+    const dse::MonteCarloResult direct =
+        dse::monteCarlo(parameters, model, plan.items, plan.seed);
+
+    EXPECT_EQ(sharded.samples, direct.samples);
+    EXPECT_EQ(sharded.mean, direct.mean);
+    EXPECT_EQ(sharded.stddev, direct.stddev);
+    EXPECT_EQ(sharded.p5, direct.p5);
+    EXPECT_EQ(sharded.p50, direct.p50);
+    EXPECT_EQ(sharded.p95, direct.p95);
+    EXPECT_EQ(sharded.min, direct.min);
+    EXPECT_EQ(sharded.max, direct.max);
+}
+
+// ---------------------------------------------------------------------
+// Merge rejection
+// ---------------------------------------------------------------------
+
+class SweepMergeDeathTest : public SweepEngineTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+        plan_ = monteCarloPlan();
+        const Domain &domain = findDomain(plan_.domain);
+        for (std::size_t i = 0; i < 2; ++i)
+            partials_.push_back(runShardedSweep(
+                plan_, {2, i}, domain.evaluator(plan_)));
+    }
+
+    SweepPlan plan_;
+    std::vector<ShardResult> partials_;
+};
+
+TEST_F(SweepMergeDeathTest, RejectsMissingPartial)
+{
+    EXPECT_EXIT(mergeShards({partials_[0]}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(SweepMergeDeathTest, RejectsDuplicateShard)
+{
+    EXPECT_EXIT(mergeShards({partials_[0], partials_[0]}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(SweepMergeDeathTest, RejectsMismatchedPlans)
+{
+    ShardResult other = partials_[1];
+    other.plan.seed ^= 1;
+    EXPECT_EXIT(mergeShards({partials_[0], other}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST_F(SweepMergeDeathTest, RejectsMismatchedShardCounts)
+{
+    const Domain &domain = findDomain(plan_.domain);
+    const ShardResult stray =
+        runShardedSweep(plan_, {3, 1}, domain.evaluator(plan_));
+    EXPECT_EXIT(mergeShards({partials_[0], stray}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::sweep

@@ -1,0 +1,90 @@
+/** @file Tests for validated ACT_* environment-variable parsing. */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+
+namespace act::util {
+namespace {
+
+constexpr const char *kVar = "ACT_ENV_TEST_VARIABLE";
+
+class EnvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ::unsetenv(kVar); }
+    void TearDown() override { ::unsetenv(kVar); }
+
+    void set(const char *value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvTest, UnsetYieldsFallback)
+{
+    EXPECT_EQ(envInt(kVar, 7, 0, 100), 7);
+    EXPECT_TRUE(envBool(kVar, true));
+    EXPECT_FALSE(envBool(kVar, false));
+    EXPECT_EQ(envString(kVar, "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, ParsesValidIntegers)
+{
+    set("42");
+    EXPECT_EQ(envInt(kVar, 0, 0, 100), 42);
+    set("0");
+    EXPECT_EQ(envInt(kVar, 5, 0, 100), 0);
+    set("-3");
+    EXPECT_EQ(envInt(kVar, 0, -10, 10), -3);
+}
+
+TEST_F(EnvTest, GarbageIntegerWarnsAndFallsBack)
+{
+    set("banana");
+    EXPECT_EQ(envInt(kVar, 11, 0, 100), 11);
+    set("12abc");
+    EXPECT_EQ(envInt(kVar, 11, 0, 100), 11);
+    set("");
+    EXPECT_EQ(envInt(kVar, 11, 0, 100), 11);
+}
+
+TEST_F(EnvTest, OutOfRangeIntegerFallsBack)
+{
+    set("101");
+    EXPECT_EQ(envInt(kVar, 11, 0, 100), 11);
+    set("-1");
+    EXPECT_EQ(envInt(kVar, 11, 0, 100), 11);
+    // Far beyond int64 range must not silently wrap.
+    set("99999999999999999999999999");
+    EXPECT_EQ(envInt(kVar, 11, 0, 100), 11);
+}
+
+TEST_F(EnvTest, ParsesBooleans)
+{
+    for (const char *truthy : {"1", "true", "on"}) {
+        set(truthy);
+        EXPECT_TRUE(envBool(kVar, false)) << truthy;
+    }
+    for (const char *falsy : {"0", "false", "off"}) {
+        set(falsy);
+        EXPECT_FALSE(envBool(kVar, true)) << falsy;
+    }
+}
+
+TEST_F(EnvTest, GarbageBooleanWarnsAndFallsBack)
+{
+    set("yes-please");
+    EXPECT_TRUE(envBool(kVar, true));
+    EXPECT_FALSE(envBool(kVar, false));
+}
+
+TEST_F(EnvTest, StringValueAndEmptyFallback)
+{
+    set("/some/path.json");
+    EXPECT_EQ(envString(kVar, ""), "/some/path.json");
+    set("");
+    EXPECT_EQ(envString(kVar, "fallback"), "fallback");
+}
+
+} // namespace
+} // namespace act::util

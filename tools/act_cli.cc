@@ -10,6 +10,9 @@
  *   act soc <name> [options]              mobile platform summary
  *   act footprint --energy-kwh E [--ci-use g] --embodied-g C
  *                 --time-years T --lifetime-years LT    Eq. 1
+ *   act sweep --plan <plan.json> [--shards N --shard-index i]
+ *             [--out <file>]     run a serialized sweep (or one shard)
+ *   act merge <partial.json...> [--out <file>]   recombine shards
  *
  * Fab options: --fab-ci <g/kWh>  --yield <y>  --abatement <a>
  */
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "config/json.h"
 #include "core/embodied.h"
 #include "core/footprint.h"
 #include "core/lifecycle.h"
@@ -27,6 +31,9 @@
 #include "data/device_json.h"
 #include "data/soc_db.h"
 #include "mobile/platform.h"
+#include "sweep/domains.h"
+#include "sweep/engine.h"
+#include "sweep/plan.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/strings.h"
@@ -55,6 +62,11 @@ printUsage()
         "  soc <name>                     mobile platform summary\n"
         "  footprint --energy-kwh E [--ci-use g] --embodied-g C\n"
         "            --time-years T --lifetime-years LT   (Eq. 1)\n"
+        "  sweep --plan <plan.json> [--out <file>]\n"
+        "        [--shards N --shard-index i]  run a serialized sweep;\n"
+        "        with a shard spec, write one partial-result file\n"
+        "  merge <partial.json...> [--out <file>]  recombine shard\n"
+        "        partials into the single-process result document\n"
         "\n"
         "fab options (for cpa/logic/device/soc):\n"
         "  --fab-ci <g/kWh>   fab carbon intensity "
@@ -103,6 +115,16 @@ class Args
                                 " expects a number, got '", value, "'");
                 }
             }
+        }
+        return fallback;
+    }
+
+    std::string
+    stringOr(const std::string &name, const std::string &fallback) const
+    {
+        for (const auto &[key, value] : flags_) {
+            if (key == name)
+                return value;
         }
         return fallback;
     }
@@ -373,6 +395,78 @@ cmdFootprint(const Args &args)
     return 0;
 }
 
+std::size_t
+countOr(const Args &args, const std::string &name, std::size_t fallback)
+{
+    const double value =
+        args.numberOr(name, static_cast<double>(fallback));
+    if (value < 0.0 || value != static_cast<double>(
+                                    static_cast<std::size_t>(value)))
+        util::fatal("flag --", name,
+                    " expects a non-negative integer, got ", value);
+    return static_cast<std::size_t>(value);
+}
+
+int
+cmdSweep(const Args &args)
+{
+    if (!args.has("plan"))
+        util::fatal("sweep needs --plan <plan.json>");
+    const std::string plan_path = args.stringOr("plan", "");
+    sweep::SweepPlan plan =
+        sweep::sweepPlanFromJson(config::loadJsonFile(plan_path));
+    const sweep::Domain &domain = sweep::findDomain(plan.domain);
+    domain.prepare(plan);
+    const std::string out = args.stringOr("out", "");
+
+    if (!args.has("shards") && !args.has("shard-index")) {
+        const config::JsonValue doc =
+            sweep::fullSweepResult(plan, domain.evaluator(plan));
+        if (!out.empty())
+            config::saveJsonFile(out, doc);
+        std::cout << domain.summarize(
+                         plan, doc.at("results").asArray())
+                  << "\n";
+        return 0;
+    }
+
+    sweep::ShardSpec shard;
+    shard.shard_count = countOr(args, "shards", 1);
+    shard.shard_index = countOr(args, "shard-index", 0);
+    if (out.empty())
+        util::fatal("a sharded sweep needs --out <partial.json>");
+    const sweep::ShardResult partial =
+        sweep::runShardedSweep(plan, shard, domain.evaluator(plan));
+    config::saveJsonFile(out, sweep::toJson(partial));
+    std::cout << "shard " << shard.shard_index << "/"
+              << shard.shard_count << " of '" << plan.domain
+              << "': chunks [" << partial.chunk_begin << ", "
+              << partial.chunk_begin + partial.chunks.size()
+              << ") -> " << out << "\n";
+    return 0;
+}
+
+int
+cmdMerge(const Args &args)
+{
+    if (args.positional().empty())
+        util::fatal("merge needs at least one partial-result file");
+    std::vector<sweep::ShardResult> partials;
+    partials.reserve(args.positional().size());
+    for (const std::string &path : args.positional())
+        partials.push_back(
+            sweep::shardResultFromJson(config::loadJsonFile(path)));
+    const config::JsonValue merged = sweep::mergeShards(partials);
+    const std::string out = args.stringOr("out", "");
+    if (!out.empty())
+        config::saveJsonFile(out, merged);
+    const sweep::SweepPlan &plan = partials.front().plan;
+    std::cout << sweep::findDomain(plan.domain)
+                     .summarize(plan, merged.at("results").asArray())
+              << "\n";
+    return 0;
+}
+
 int
 runCommand(const std::string &command, const Args &args)
 {
@@ -398,6 +492,10 @@ runCommand(const std::string &command, const Args &args)
         return cmdSoc(args);
     if (command == "footprint")
         return cmdFootprint(args);
+    if (command == "sweep")
+        return cmdSweep(args);
+    if (command == "merge")
+        return cmdMerge(args);
 
     act::util::fatal("unknown command '", command,
                      "' (try 'act --help')");
