@@ -128,6 +128,77 @@ BM_MonteCarlo(benchmark::State &state)
 BENCHMARK(BM_MonteCarlo)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/** The cpa_montecarlo sweep shape: Eq. 5 at 7 nm with uncertain
+ *  ci_fab / yield / abatement, shared by the scalar-vs-batch pair
+ *  below so the two benchmarks evaluate the same model. */
+const std::vector<dse::UncertainParameter> &
+cpaMcParameters()
+{
+    static const std::vector<dse::UncertainParameter> parameters = {
+        {"ci_fab_g_per_kwh", dse::Distribution::Uniform, 365.0, 30.0,
+         700.0},
+        {"yield", dse::Distribution::Triangular, 0.875, 0.8, 0.95},
+        {"abatement", dse::Distribution::Uniform, 0.95, 0.90, 1.0},
+    };
+    return parameters;
+}
+
+/**
+ * Scalar closure baseline: per sample, copy FabParams, re-resolve the
+ * node curves, recompute Eq. 5 through core::carbonPerArea. The CPA
+ * cache is disabled -- continuously sampled fab parameters make every
+ * lookup a unique-key miss, so the cache would only add copy-on-write
+ * insert traffic on top of the compute being measured.
+ */
+void
+BM_MonteCarloCpaScalar(benchmark::State &state)
+{
+    util::setThreadCount(1);
+    core::CpaCache::instance().setEnabled(false);
+    const auto &parameters = cpaMcParameters();
+    for (auto _ : state) {
+        const auto result = dse::monteCarlo(
+            parameters,
+            [](const std::vector<double> &v) {
+                core::FabParams fab;
+                fab.ci_fab = util::gramsPerKilowattHour(v[0]);
+                fab.yield = v[1];
+                fab.abatement = v[2];
+                return core::carbonPerArea(fab, 7.0).value();
+            },
+            100'000);
+        benchmark::DoNotOptimize(result.p95);
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+    core::CpaCache::instance().setEnabled(true);
+    util::setThreadCount(0);
+}
+BENCHMARK(BM_MonteCarloCpaScalar)->Unit(benchmark::kMillisecond);
+
+/** The same sweep through the compiled plan + SoA batch kernel
+ *  (bit-identical results; the acceptance target is >= 3x the scalar
+ *  closure's single-core throughput). */
+void
+BM_MonteCarloBatch(benchmark::State &state)
+{
+    util::setThreadCount(1);
+    const core::FabParams fab;
+    const std::vector<core::EvalInput> bindings = {
+        core::EvalInput::CiFab, core::EvalInput::Yield,
+        core::EvalInput::Abatement};
+    const core::EvalPlan plan =
+        core::EvalPlan::forNode(fab, 7.0, bindings);
+    const auto &parameters = cpaMcParameters();
+    for (auto _ : state) {
+        const auto result =
+            dse::monteCarloBatch(parameters, plan, 100'000);
+        benchmark::DoNotOptimize(result.p95);
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+    util::setThreadCount(0);
+}
+BENCHMARK(BM_MonteCarloBatch)->Unit(benchmark::kMillisecond);
+
 /** Fig. 12-class NPU design-space walk across nodes, 1/4/8 threads. */
 void
 BM_NpuDesignSpaceWalk(benchmark::State &state)

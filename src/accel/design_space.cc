@@ -1,5 +1,6 @@
 #include "accel/design_space.h"
 
+#include "core/eval_plan.h"
 #include "sweep/engine.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -30,7 +31,12 @@ sweepDesignSpace(const NpuModel &model, const Network &network,
                    "nm");
     // Each MAC configuration evaluates independently; the sweep
     // engine fills pre-sized slots so sweep order stays the paper's
-    // order.
+    // order. Every configuration shares (fab, node), so Eq. 5 is
+    // compiled once for the whole sweep and embodied carbon is a
+    // single multiply per entry -- the same CPA * area product
+    // model.embodied() computes.
+    const util::CarbonPerArea cpa =
+        core::EvalPlan::forNode(fab, node_nm).cpa();
     const std::vector<int> macs_sweep = macSweep();
     return sweep::runSweepMap<SweepEntry>(
         sweep::SweepPlan::map("accel.design_space", macs_sweep.size()),
@@ -38,7 +44,7 @@ sweepDesignSpace(const NpuModel &model, const Network &network,
             SweepEntry entry;
             const NpuConfig config{macs_sweep[i], node_nm};
             entry.evaluation = model.evaluate(network, config);
-            entry.embodied = model.embodied(config, fab);
+            entry.embodied = cpa * entry.evaluation.area;
 
             entry.design_point.name =
                 std::to_string(macs_sweep[i]) + " MACs";

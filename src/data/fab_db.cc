@@ -166,22 +166,22 @@ FabDatabase::epa(double nm, NodeLookup lookup) const
     return kilowattHoursPerCm2(curves().epa.at(nm));
 }
 
+std::pair<double, double>
+FabDatabase::gpaColumns(double nm, NodeLookup lookup) const
+{
+    checkNodeRange(nm);
+    if (lookup == NodeLookup::NearestAnchor) {
+        const CurveAnchor &anchor = nearestAnchor(nm);
+        return {anchor.gpa95, anchor.gpa99};
+    }
+    return {curves().gpa95.at(nm), curves().gpa99.at(nm)};
+}
+
 CarbonPerArea
 FabDatabase::gpa(double nm, double abatement, NodeLookup lookup) const
 {
-    checkNodeRange(nm);
     checkAbatement(abatement);
-
-    double at95 = 0.0;
-    double at99 = 0.0;
-    if (lookup == NodeLookup::NearestAnchor) {
-        const CurveAnchor &anchor = nearestAnchor(nm);
-        at95 = anchor.gpa95;
-        at99 = anchor.gpa99;
-    } else {
-        at95 = curves().gpa95.at(nm);
-        at99 = curves().gpa99.at(nm);
-    }
+    const auto [at95, at99] = gpaColumns(nm, lookup);
 
     // Linear in the abatement fraction through the two characterized
     // columns; fractions outside [0.95, 0.99] extrapolate on the same

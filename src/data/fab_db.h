@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "util/units.h"
 
@@ -71,6 +72,17 @@ class FabDatabase
     util::CarbonPerArea
     gpa(double nm, double abatement = kDefaultAbatement,
         NodeLookup lookup = NodeLookup::Interpolate) const;
+
+    /**
+     * The two characterized abatement columns (95%, 99%) resolved at a
+     * node, in g CO2/cm2 -- the per-node constants gpa() interpolates
+     * between. Exposed so a compiled evaluation plan
+     * (core/eval_plan.h) can resolve the node once and replay the
+     * abatement interpolation per sample with bit-identical results.
+     */
+    std::pair<double, double>
+    gpaColumns(double nm,
+               NodeLookup lookup = NodeLookup::Interpolate) const;
 
     /** Raw material procurement intensity (Table 8): 500 g CO2/cm2. */
     util::CarbonPerArea mpa() const;

@@ -1,6 +1,7 @@
 #include "dse/montecarlo.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <utility>
 
@@ -40,6 +41,46 @@ sampleParameter(const UncertainParameter &parameter,
     }
     util::panic("unknown Distribution enumerator");
 }
+
+/**
+ * Per-parameter sampling constants hoisted out of the chunk loop. The
+ * precomputed differences keep the scalar path's exact expression
+ * shapes: `u * ba * ca` associates as `(u * ba) * ca`, matching
+ * `u * (b - a) * (c - a)` above, so every drawn value is bit-identical
+ * to sampleParameter() on the same RNG state.
+ */
+struct CompiledSampler
+{
+    Distribution distribution = Distribution::Uniform;
+    double a = 0.0;
+    double b = 0.0;
+    double ba = 0.0;
+    double ca = 0.0;
+    double bc = 0.0;
+    double pivot = 0.0;
+
+    CompiledSampler() = default;
+    explicit CompiledSampler(const UncertainParameter &parameter)
+        : distribution(parameter.distribution), a(parameter.low),
+          b(parameter.high), ba(parameter.high - parameter.low),
+          ca(parameter.baseline - parameter.low),
+          bc(parameter.high - parameter.baseline),
+          pivot((parameter.baseline - parameter.low) /
+                (parameter.high - parameter.low))
+    {
+    }
+
+    double
+    draw(util::Xorshift64Star &rng) const
+    {
+        if (distribution == Distribution::Uniform)
+            return a + ba * rng.nextUnit();
+        const double u = rng.nextUnit();
+        if (u < pivot)
+            return a + std::sqrt(u * ba * ca);
+        return b - std::sqrt((1.0 - u) * ba * bc);
+    }
+};
 
 } // namespace
 
@@ -105,15 +146,63 @@ finalizeMonteCarlo(std::size_t samples, MonteCarloPartial merged)
                     "-sample sweep");
     }
     std::vector<double> outputs = std::move(merged.outputs);
-    std::sort(outputs.begin(), outputs.end());
-    const auto percentile = [&outputs](double p) {
+
+    // O(n) selection instead of a full sort: min/max scan first (the
+    // array is still untouched), then successive nth_element calls
+    // over ascending order-statistic ranks -- each pass partitions
+    // [from, end) so later ranks select within the remaining suffix.
+    // The selected k-th values are exactly the sorted array's
+    // outputs[k], and the interpolation expression is unchanged, so
+    // every statistic keeps its previous bits.
+    const auto [min_it, max_it] =
+        std::minmax_element(outputs.begin(), outputs.end());
+    const double min_value = *min_it;
+    const double max_value = *max_it;
+
+    struct Rank
+    {
+        std::size_t lo;
+        std::size_t hi;
+        double t;
+    };
+    const auto rankOf = [&outputs](double p) {
         const double index =
             p * static_cast<double>(outputs.size() - 1);
         const std::size_t lo = static_cast<std::size_t>(index);
-        const std::size_t hi =
-            std::min(lo + 1, outputs.size() - 1);
+        const std::size_t hi = std::min(lo + 1, outputs.size() - 1);
         const double t = index - static_cast<double>(lo);
-        return outputs[lo] * (1.0 - t) + outputs[hi] * t;
+        return Rank{lo, hi, t};
+    };
+    const Rank ranks[3] = {rankOf(0.05), rankOf(0.50), rankOf(0.95)};
+
+    std::vector<std::size_t> needed;
+    for (const Rank &rank : ranks) {
+        needed.push_back(rank.lo);
+        needed.push_back(rank.hi);
+    }
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()),
+                 needed.end());
+    std::vector<double> selected(needed.size());
+    std::size_t from = 0;
+    for (std::size_t r = 0; r < needed.size(); ++r) {
+        const std::size_t k = needed[r];
+        std::nth_element(outputs.begin() + from, outputs.begin() + k,
+                         outputs.end());
+        selected[r] = outputs[k];
+        // Exclude position k from later passes: they may only permute
+        // (from, end), so each captured order statistic stays put.
+        from = k + 1;
+    }
+    const auto orderStat = [&](std::size_t k) {
+        const auto it =
+            std::lower_bound(needed.begin(), needed.end(), k);
+        return selected[static_cast<std::size_t>(it -
+                                                 needed.begin())];
+    };
+    const auto percentile = [&](const Rank &rank) {
+        return orderStat(rank.lo) * (1.0 - rank.t) +
+               orderStat(rank.hi) * rank.t;
     };
 
     MonteCarloResult result;
@@ -123,11 +212,11 @@ finalizeMonteCarlo(std::size_t samples, MonteCarloPartial merged)
         merged.sum_squares / static_cast<double>(samples) -
         result.mean * result.mean;
     result.stddev = std::sqrt(std::max(0.0, variance));
-    result.p5 = percentile(0.05);
-    result.p50 = percentile(0.50);
-    result.p95 = percentile(0.95);
-    result.min = outputs.front();
-    result.max = outputs.back();
+    result.p5 = percentile(ranks[0]);
+    result.p50 = percentile(ranks[1]);
+    result.p95 = percentile(ranks[2]);
+    result.min = min_value;
+    result.max = max_value;
     return result;
 }
 
@@ -144,12 +233,16 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
 
     // The sweep engine owns chunking, per-chunk derived RNG streams,
     // and ordered reduction; the fixed grain keeps the chunk layout
-    // (and therefore every statistic) thread-count independent.
+    // (and therefore every statistic) thread-count independent. The
+    // accumulator is preallocated to the full sweep so the ordered
+    // reduction appends without reallocating.
     sweep::SweepPlan plan;
     plan.domain = "dse.montecarlo";
     plan.items = samples;
     plan.grain = kMonteCarloChunk;
     plan.seed = seed;
+    MonteCarloPartial init;
+    init.outputs.reserve(samples);
     MonteCarloPartial merged = sweep::runSweep(
         plan,
         [&](std::size_t, util::IndexRange range,
@@ -160,8 +253,129 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
             return mergePartial(std::move(accumulator),
                                 std::move(part));
         },
-        MonteCarloPartial{});
+        std::move(init));
     return finalizeMonteCarlo(samples, std::move(merged));
+}
+
+BatchModel
+batchModel(core::EvalPlan plan)
+{
+    return [plan](std::size_t n, const double *const *inputs,
+                  double *outputs) {
+        plan.evaluateBatch(n, inputs, outputs);
+    };
+}
+
+void
+MonteCarloScratch::prepare(std::size_t parameters, std::size_t samples)
+{
+    samples_ = samples;
+    values_.resize(parameters * samples);
+    columns_.resize(parameters);
+    for (std::size_t i = 0; i < parameters; ++i)
+        columns_[i] = values_.data() + i * samples;
+}
+
+MonteCarloPartial
+monteCarloBatchChunk(const std::vector<UncertainParameter> &parameters,
+                     const BatchModel &model, util::IndexRange range,
+                     util::Xorshift64Star &rng,
+                     MonteCarloScratch &scratch)
+{
+    const std::size_t count = range.size();
+    const std::size_t width = parameters.size();
+    scratch.prepare(width, count);
+
+    // One compiled sampler per parameter, on the stack for the usual
+    // handful of Eq. 5 inputs.
+    constexpr std::size_t kStackSamplers = 8;
+    std::array<CompiledSampler, kStackSamplers> stack_samplers;
+    std::vector<CompiledSampler> heap_samplers;
+    CompiledSampler *samplers = stack_samplers.data();
+    if (width > kStackSamplers) {
+        heap_samplers.resize(width);
+        samplers = heap_samplers.data();
+    }
+    for (std::size_t i = 0; i < width; ++i)
+        samplers[i] = CompiledSampler(parameters[i]);
+
+    std::array<double *, kStackSamplers> stack_columns;
+    std::vector<double *> heap_columns;
+    double **columns = stack_columns.data();
+    if (width > kStackSamplers) {
+        heap_columns.resize(width);
+        columns = heap_columns.data();
+    }
+    for (std::size_t i = 0; i < width; ++i)
+        columns[i] = scratch.column(i);
+
+    // Sample-major fill: sample s draws all its parameters before
+    // sample s+1 touches the stream, exactly like monteCarloChunk(),
+    // so the two paths consume identical RNG sequences.
+    for (std::size_t s = 0; s < count; ++s) {
+        for (std::size_t i = 0; i < width; ++i)
+            columns[i][s] = samplers[i].draw(rng);
+    }
+
+    // The kernel writes straight into the partial's output vector --
+    // no bounce through scratch.
+    MonteCarloPartial partial;
+    partial.outputs.resize(count);
+    model(count, scratch.columns(), partial.outputs.data());
+
+    for (const double output : partial.outputs) {
+        partial.sum += output;
+        partial.sum_squares += output * output;
+    }
+    return partial;
+}
+
+MonteCarloResult
+monteCarloBatch(const std::vector<UncertainParameter> &parameters,
+                const BatchModel &model, std::size_t samples,
+                std::uint64_t seed)
+{
+    TRACE_SPAN("dse.montecarlo", "monteCarloBatch");
+    g_runs.add();
+    g_samples.add(samples);
+    validateMonteCarloInputs(parameters, samples);
+
+    // Identical plan to monteCarlo(): same domain, same grain, same
+    // seed derivation -- only the per-chunk evaluation changes.
+    sweep::SweepPlan plan;
+    plan.domain = "dse.montecarlo";
+    plan.items = samples;
+    plan.grain = kMonteCarloChunk;
+    plan.seed = seed;
+    MonteCarloPartial init;
+    init.outputs.reserve(samples);
+    MonteCarloPartial merged = sweep::runSweep(
+        plan,
+        [&](std::size_t, util::IndexRange range,
+            util::Xorshift64Star &rng) {
+            thread_local MonteCarloScratch scratch;
+            return monteCarloBatchChunk(parameters, model, range, rng,
+                                        scratch);
+        },
+        [](MonteCarloPartial accumulator, MonteCarloPartial part) {
+            return mergePartial(std::move(accumulator),
+                                std::move(part));
+        },
+        std::move(init));
+    return finalizeMonteCarlo(samples, std::move(merged));
+}
+
+MonteCarloResult
+monteCarloBatch(const std::vector<UncertainParameter> &parameters,
+                const core::EvalPlan &plan, std::size_t samples,
+                std::uint64_t seed)
+{
+    if (plan.inputCount() != parameters.size()) {
+        util::fatal("compiled plan binds ", plan.inputCount(),
+                    " inputs but the sweep has ", parameters.size(),
+                    " uncertain parameters");
+    }
+    return monteCarloBatch(parameters, batchModel(plan), samples, seed);
 }
 
 } // namespace act::dse

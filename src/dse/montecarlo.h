@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_plan.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
@@ -111,6 +112,84 @@ monteCarlo(const std::vector<UncertainParameter> &parameters,
            const std::function<double(const std::vector<double> &)>
                &model,
            std::size_t samples = 10'000, std::uint64_t seed = 42);
+
+/**
+ * Batched model kernel: fill outputs[0, n) from n samples laid out as
+ * structure-of-arrays columns (inputs[i][s] is parameter i's value for
+ * sample s). One invocation replaces n scalar closure calls.
+ */
+using BatchModel = std::function<void(
+    std::size_t n, const double *const *inputs, double *outputs)>;
+
+/** Adapt a compiled plan (core/eval_plan.h) into a batch kernel. The
+ *  plan is captured by value -- it is a few dozen bytes of POD. */
+BatchModel batchModel(core::EvalPlan plan);
+
+/**
+ * Reusable structure-of-arrays scratch for batched chunks: one
+ * contiguous column per parameter, grown once and reused, so
+ * steady-state chunk evaluation's only allocation is the output
+ * vector it hands back. Typically held thread_local by chunk
+ * evaluators.
+ */
+class MonteCarloScratch
+{
+  public:
+    /** Size for @p parameters columns of @p samples each. */
+    void prepare(std::size_t parameters, std::size_t samples);
+
+    /** Column i (valid after prepare()). */
+    double *
+    column(std::size_t i)
+    {
+        return values_.data() + i * samples_;
+    }
+
+    /** The SoA column-pointer table, as evaluateBatch() expects. */
+    const double *const *
+    columns() const
+    {
+        return columns_.data();
+    }
+
+  private:
+    std::size_t samples_ = 0;
+    std::vector<double> values_;
+    std::vector<const double *> columns_;
+};
+
+/**
+ * Batched counterpart of monteCarloChunk(): draws the chunk's samples
+ * into @p scratch in the *same RNG consumption order* as the scalar
+ * path (sample-major: all of sample s's parameters before sample
+ * s+1's), then invokes @p model once. For any model where the batch
+ * kernel computes what the scalar closure computes, the returned
+ * partial is bit-identical to monteCarloChunk()'s.
+ */
+MonteCarloPartial
+monteCarloBatchChunk(const std::vector<UncertainParameter> &parameters,
+                     const BatchModel &model, util::IndexRange range,
+                     util::Xorshift64Star &rng,
+                     MonteCarloScratch &scratch);
+
+/**
+ * monteCarlo() over a batch kernel: same chunk layout, same per-chunk
+ * derived RNG streams, same ordered reduction -- results are
+ * bit-identical to the scalar path for any thread or shard count --
+ * but each chunk costs one kernel call instead of kMonteCarloChunk
+ * std::function invocations and vector refills.
+ */
+MonteCarloResult
+monteCarloBatch(const std::vector<UncertainParameter> &parameters,
+                const BatchModel &model, std::size_t samples = 10'000,
+                std::uint64_t seed = 42);
+
+/** Convenience overload: run the sweep against a compiled plan whose
+ *  bindings line up with @p parameters (fatal on a count mismatch). */
+MonteCarloResult
+monteCarloBatch(const std::vector<UncertainParameter> &parameters,
+                const core::EvalPlan &plan,
+                std::size_t samples = 10'000, std::uint64_t seed = 42);
 
 } // namespace act::dse
 

@@ -4,7 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "accel/design_space.h"
 #include "core/embodied.h"
+#include "core/eval_plan.h"
 #include "core/model_config.h"
 #include "data/soc_db.h"
 #include "mobile/platform.h"
@@ -133,6 +135,30 @@ cpaModel(const CpaMonteCarloConfig &config)
     };
 }
 
+/** Compile the config into the equivalent Eq. 5 plan: binding i feeds
+ *  the same FabParams field cpaModel() mutates for parameter i. */
+core::EvalPlan
+cpaPlan(const CpaMonteCarloConfig &config)
+{
+    std::vector<core::EvalInput> bindings;
+    bindings.reserve(config.fields.size());
+    for (const FabField field : config.fields) {
+        switch (field) {
+          case FabField::CiFab:
+            bindings.push_back(core::EvalInput::CiFab);
+            break;
+          case FabField::Yield:
+            bindings.push_back(core::EvalInput::Yield);
+            break;
+          case FabField::Abatement:
+            bindings.push_back(core::EvalInput::Abatement);
+            break;
+        }
+    }
+    return core::EvalPlan::forNode(config.base_fab, config.node_nm,
+                                   bindings);
+}
+
 void
 prepareCpaMonteCarlo(SweepPlan &plan)
 {
@@ -148,14 +174,18 @@ prepareCpaMonteCarlo(SweepPlan &plan)
 JsonChunkEvaluator
 cpaMonteCarloEvaluator(const SweepPlan &plan)
 {
-    // Parsed once; shared read-only by every concurrent chunk.
+    // Parsed and compiled once; shared read-only by every concurrent
+    // chunk. Chunks run the batch kernel over a reused thread-local
+    // SoA scratch -- same RNG consumption order as the scalar path,
+    // so partials (and merged results) keep their bits.
     auto config = std::make_shared<const CpaMonteCarloConfig>(
         parseCpaMonteCarloConfig(plan));
-    auto model = cpaModel(*config);
+    const dse::BatchModel model = dse::batchModel(cpaPlan(*config));
     return [config, model](std::size_t, util::IndexRange range,
                            util::Xorshift64Star &rng) {
-        return toJson(dse::monteCarloChunk(config->parameters, model,
-                                           range, rng));
+        thread_local dse::MonteCarloScratch scratch;
+        return toJson(dse::monteCarloBatchChunk(
+            config->parameters, model, range, rng, scratch));
     };
 }
 
@@ -217,15 +247,20 @@ designPointToJson(const core::DesignPoint &point)
 JsonChunkEvaluator
 mobileEvaluator(const SweepPlan &plan)
 {
+    // Per-SoC constants (node CPA, DRAM CPS, aggregate score) resolve
+    // once here; chunks share them read-only. The compiled design
+    // points are bit-identical to mobile::designPoint().
     const core::FabParams fab = mobileFab(plan);
-    return [fab](std::size_t, util::IndexRange range,
-                 util::Xorshift64Star &) {
-        const auto records = data::SocDatabase::instance().records();
+    auto compiled =
+        std::make_shared<const std::vector<mobile::CompiledPlatform>>(
+            mobile::compileMobilePlatforms(fab));
+    return [compiled](std::size_t, util::IndexRange range,
+                      util::Xorshift64Star &) {
         JsonArray points;
         points.reserve(range.size());
         for (std::size_t i = range.begin; i < range.end; ++i) {
-            points.push_back(designPointToJson(
-                mobile::designPoint(records[i], fab)));
+            points.push_back(
+                designPointToJson((*compiled)[i].designPoint()));
         }
         return JsonValue(std::move(points));
     };
@@ -254,13 +289,152 @@ summarizeMobile(const SweepPlan &, const JsonArray &results)
     return out.str();
 }
 
+// ---------------------------------------------------------------------
+// accel: the Fig. 12 NPU design-space walk, node x MAC count.
+// ---------------------------------------------------------------------
+
+struct AccelConfig
+{
+    std::vector<double> nodes;
+    core::FabParams fab;
+};
+
+AccelConfig
+parseAccelConfig(const SweepPlan &plan)
+{
+    AccelConfig parsed;
+    if (plan.config.isObject() && plan.config.contains("nodes")) {
+        for (const JsonValue &node :
+             plan.config.at("nodes").asArray()) {
+            parsed.nodes.push_back(node.asNumber());
+        }
+    } else {
+        // The Fig. 13 (right) node walk, newest last.
+        parsed.nodes = {28.0, 20.0, 16.0, 10.0, 7.0, 5.0, 3.0};
+    }
+    if (parsed.nodes.empty())
+        util::fatal("accel sweep config has an empty 'nodes' array");
+    for (const double node : parsed.nodes) {
+        if (!(node >= 3.0 && node <= 28.0)) {
+            util::fatal("accel sweep node ", node,
+                        " nm outside the modeled range [3, 28] nm");
+        }
+    }
+    if (plan.config.isObject() && plan.config.contains("fab"))
+        parsed.fab = core::fabParamsFromJson(plan.config.at("fab"));
+    return parsed;
+}
+
+void
+prepareAccel(SweepPlan &plan)
+{
+    const AccelConfig config = parseAccelConfig(plan);
+    const std::size_t items =
+        config.nodes.size() * accel::macSweep().size();
+    if (plan.items == 0)
+        plan.items = items;
+    else if (plan.items != items)
+        util::fatal("accel sweep plan pins ", plan.items,
+                    " items but the config spans ", items,
+                    " (nodes x MAC configurations)");
+    resolveFingerprint(plan);
+}
+
+JsonChunkEvaluator
+accelEvaluator(const SweepPlan &plan)
+{
+    auto config =
+        std::make_shared<const AccelConfig>(parseAccelConfig(plan));
+    // Eq. 5 depends only on (fab, node): compile one plan per node up
+    // front so chunk evaluation is pure arithmetic.
+    auto cpas = std::make_shared<std::vector<util::CarbonPerArea>>();
+    cpas->reserve(config->nodes.size());
+    for (const double node : config->nodes) {
+        cpas->push_back(
+            core::EvalPlan::forNode(config->fab, node).cpa());
+    }
+    auto model = std::make_shared<const accel::NpuModel>();
+    return [config, cpas, model](std::size_t, util::IndexRange range,
+                                 util::Xorshift64Star &) {
+        const std::vector<int> macs = accel::macSweep();
+        const accel::Network &network =
+            accel::referenceVisionNetwork();
+        JsonArray points;
+        points.reserve(range.size());
+        for (std::size_t k = range.begin; k < range.end; ++k) {
+            const std::size_t node_index = k / macs.size();
+            const std::size_t mac_index = k % macs.size();
+            const accel::NpuConfig npu_config{
+                macs[mac_index], config->nodes[node_index]};
+            const accel::NpuEvaluation evaluation =
+                model->evaluate(network, npu_config);
+            JsonObject point;
+            point["node_nm"] = JsonValue(npu_config.node_nm);
+            point["macs"] =
+                JsonValue(static_cast<double>(npu_config.mac_count));
+            point["embodied_g"] = JsonValue(util::asGrams(
+                (*cpas)[node_index] * evaluation.area));
+            point["energy_per_frame_j"] =
+                JsonValue(util::asJoules(evaluation.energy_per_frame));
+            point["latency_s"] =
+                JsonValue(util::asSeconds(evaluation.latency));
+            point["fps"] = JsonValue(evaluation.frames_per_second);
+            point["area_mm2"] = JsonValue(
+                util::asSquareMillimeters(evaluation.area));
+            point["utilization"] = JsonValue(evaluation.utilization);
+            points.push_back(JsonValue(std::move(point)));
+        }
+        return JsonValue(std::move(points));
+    };
+}
+
+std::string
+summarizeAccel(const SweepPlan &, const JsonArray &results)
+{
+    std::size_t count = 0;
+    double best_g = 0.0;
+    double best_node = 0.0;
+    double best_macs = 0.0;
+    for (const JsonValue &chunk : results) {
+        for (const JsonValue &point : chunk.asArray()) {
+            const double grams = point.at("embodied_g").asNumber();
+            if (count == 0 || grams < best_g) {
+                best_g = grams;
+                best_node = point.at("node_nm").asNumber();
+                best_macs = point.at("macs").asNumber();
+            }
+            ++count;
+        }
+    }
+    std::ostringstream out;
+    out << "NPU design space, " << count
+        << " configurations: minimum embodied "
+        << util::formatSig(best_g, 3) << " g CO2 ("
+        << static_cast<int>(best_macs) << " MACs @ "
+        << util::formatSig(best_node, 3) << " nm)\n";
+    return out.str();
+}
+
 constexpr Domain kDomains[] = {
     {"cpa_montecarlo", prepareCpaMonteCarlo, cpaMonteCarloEvaluator,
      summarizeCpaMonteCarlo},
     {"mobile", prepareMobile, mobileEvaluator, summarizeMobile},
+    {"accel", prepareAccel, accelEvaluator, summarizeAccel},
 };
 
 } // namespace
+
+std::function<double(const std::vector<double> &)>
+cpaMonteCarloScalarModel(const SweepPlan &plan)
+{
+    return cpaModel(parseCpaMonteCarloConfig(plan));
+}
+
+std::vector<dse::UncertainParameter>
+cpaMonteCarloParameters(const SweepPlan &plan)
+{
+    return parseCpaMonteCarloConfig(plan).parameters;
+}
 
 const Domain &
 findDomain(std::string_view name)

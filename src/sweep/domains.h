@@ -6,15 +6,20 @@
  *
  *  - "cpa_montecarlo": Monte Carlo uncertainty propagation of the
  *    Eq. 5 carbon-per-area model over uncertain fab parameters
- *    (ci_fab_g_per_kwh / yield / abatement), at a fixed node. The
- *    sharded result is bit-identical to an in-process
- *    dse::monteCarlo() call with the same inputs.
+ *    (ci_fab_g_per_kwh / yield / abatement), at a fixed node. Chunks
+ *    run the compiled batch kernel (core/eval_plan.h +
+ *    dse::monteCarloBatchChunk); the sharded result is bit-identical
+ *    to an in-process dse::monteCarlo() call over the scalar closure
+ *    with the same inputs.
  *  - "mobile": the Fig. 8 mobile-SoC design space; one item per SoC
- *    record, payloads carry the evaluated design points.
+ *    record, payloads carry the evaluated design points (per-SoC
+ *    constants resolved once via mobile::compileMobilePlatforms).
+ *  - "accel": the Fig. 12 NPU design-space walk, node x MAC-count;
+ *    one item per (node, MAC) pair, Eq. 5 compiled once per node.
  *
  * Domains are separate from the engine so the engine stays free of
  * model dependencies (engine: util + config only; domains: dse,
- * mobile, core).
+ * mobile, accel, core).
  */
 
 #ifndef ACT_SWEEP_DOMAINS_H
@@ -53,6 +58,17 @@ const Domain &findDomain(std::string_view name);
 
 /** Registered domain names, for help text and error messages. */
 std::vector<std::string_view> domainNames();
+
+/**
+ * The scalar-closure equivalent of the cpa_montecarlo batch kernel
+ * (FabParams mutation + core::carbonPerArea per sample), plus the
+ * parsed uncertain parameters -- the oracle pair tests run through
+ * dse::monteCarlo() to check the domain's batch path bitwise.
+ */
+std::function<double(const std::vector<double> &)>
+cpaMonteCarloScalarModel(const SweepPlan &plan);
+std::vector<dse::UncertainParameter>
+cpaMonteCarloParameters(const SweepPlan &plan);
 
 /** Chunk payload codec for Monte Carlo partials (bit-exact doubles). */
 config::JsonValue toJson(const dse::MonteCarloPartial &partial);

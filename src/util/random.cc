@@ -33,34 +33,11 @@ deriveSeed(std::uint64_t base, std::uint64_t stream)
 }
 
 std::uint64_t
-Xorshift64Star::next()
-{
-    std::uint64_t x = state_;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    state_ = x;
-    return x * 0x2545F4914F6CDD1DULL;
-}
-
-double
-Xorshift64Star::nextUnit()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t
 Xorshift64Star::nextBelow(std::uint64_t bound)
 {
     if (bound == 0)
         fatal("nextBelow() with a zero bound");
     return next() % bound;
-}
-
-double
-Xorshift64Star::nextUniform(double lo, double hi)
-{
-    return lo + (hi - lo) * nextUnit();
 }
 
 double

@@ -33,17 +33,35 @@ class Xorshift64Star
         : state_(seed | 1)
     {}
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next();
+    /** Next raw 64-bit value. Inline: this is the innermost call of
+     *  every Monte Carlo sampling loop. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1DULL;
+    }
 
     /** Uniform in [0, 1). */
-    double nextUnit();
+    double
+    nextUnit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform integer in [0, bound); fatal for bound == 0. */
     std::uint64_t nextBelow(std::uint64_t bound);
 
     /** Uniform real in [lo, hi). */
-    double nextUniform(double lo, double hi);
+    double
+    nextUniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextUnit();
+    }
 
     /** Standard normal via Box-Muller. */
     double nextNormal();

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for compiled evaluation plans (core/eval_plan.h): the compiled
+ * path must be *bit-identical* to the string-keyed, database-resolving
+ * oracle -- core::carbonPerArea[Named](), data::storageOrDie(),
+ * data::regionIntensity() -- for every node label, memory technology,
+ * and region in the databases, and for bound per-sample inputs.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/embodied.h"
+#include "core/eval_plan.h"
+#include "core/fab_params.h"
+#include "data/carbon_intensity_db.h"
+#include "data/fab_db.h"
+#include "data/memory_db.h"
+#include "util/units.h"
+
+namespace act::core {
+namespace {
+
+std::vector<FabParams>
+fabVariants()
+{
+    std::vector<FabParams> fabs = {
+        FabParams{},
+        FabParams::taiwanGrid(),
+        FabParams::renewable(),
+        FabParams::withIntensity(util::gramsPerKilowattHour(123.0)),
+    };
+    FabParams low_yield;
+    low_yield.yield = 0.5;
+    fabs.push_back(low_yield);
+    FabParams nearest;
+    nearest.lookup = data::NodeLookup::NearestAnchor;
+    fabs.push_back(nearest);
+    return fabs;
+}
+
+TEST(EvalPlan, CurvePlanMatchesCarbonPerAreaBitwise)
+{
+    // Every compiled baseline must equal the oracle exactly (EXPECT_EQ
+    // on doubles is bit comparison for non-NaN values), across fab
+    // variants, the abatement band, and on- and off-anchor nodes.
+    const double nodes[] = {3.0, 4.2, 5.0,  6.5,  7.0,  8.0,
+                            10.0, 12.0, 14.0, 16.0, 20.0, 28.0};
+    for (FabParams fab : fabVariants()) {
+        for (const double abatement : {0.90, 0.95, 0.97, 0.99, 1.0}) {
+            fab.abatement = abatement;
+            for (const double nm : nodes) {
+                const EvalPlan plan = EvalPlan::forNode(fab, nm);
+                EXPECT_EQ(plan.cpa().value(),
+                          carbonPerArea(fab, nm).value())
+                    << nm << " nm, abatement " << abatement;
+                EXPECT_EQ(plan.evaluate(nullptr),
+                          carbonPerArea(fab, nm).value())
+                    << nm << " nm (evaluate with no bound inputs)";
+            }
+        }
+    }
+}
+
+TEST(EvalPlan, NamedPlanMatchesCarbonPerAreaNamedForEveryRow)
+{
+    for (const FabParams &fab : fabVariants()) {
+        for (const auto &record :
+             data::FabDatabase::instance().records()) {
+            const EvalPlan plan = EvalPlan::forNodeNamed(fab,
+                                                         record.name);
+            EXPECT_EQ(plan.cpa().value(),
+                      carbonPerAreaNamed(fab, record.name).value())
+                << record.name;
+        }
+    }
+}
+
+TEST(EvalPlan, TechnologyCpsMatchesStorageOrDieForEveryRow)
+{
+    for (const data::StorageClass storage_class :
+         {data::StorageClass::Dram, data::StorageClass::Ssd,
+          data::StorageClass::Hdd}) {
+        for (const auto &record : data::storageTable(storage_class)) {
+            EXPECT_EQ(
+                EvalPlan::resolveTechnologyCps(record.name).value(),
+                data::storageOrDie(record.name).cps.value())
+                << record.name;
+        }
+    }
+}
+
+TEST(EvalPlan, RegionIntensityMatchesDatabaseForEveryRegion)
+{
+    for (const auto &record : data::regionTable()) {
+        EXPECT_EQ(EvalPlan::resolveRegionIntensity(record.name).value(),
+                  data::regionIntensity(record.region).value())
+            << record.name;
+    }
+}
+
+TEST(EvalPlan, BoundEvaluateMatchesMutatedFabParams)
+{
+    // Binding (ci_fab, yield, abatement) per sample must reproduce the
+    // oracle run with a FabParams carrying those values -- the exact
+    // substitution the cpa_montecarlo sweep domain performs.
+    const FabParams base;
+    const std::vector<EvalInput> bindings = {
+        EvalInput::CiFab, EvalInput::Yield, EvalInput::Abatement};
+    for (const double nm : {3.0, 7.0, 14.0, 28.0}) {
+        const EvalPlan plan = EvalPlan::forNode(base, nm, bindings);
+        ASSERT_EQ(plan.inputCount(), 3u);
+        for (const double ci : {30.0, 365.0, 700.0}) {
+            for (const double yield : {0.6, 0.875, 1.0}) {
+                for (const double abatement : {0.90, 0.951, 1.0}) {
+                    FabParams mutated = base;
+                    mutated.ci_fab =
+                        util::gramsPerKilowattHour(ci);
+                    mutated.yield = yield;
+                    mutated.abatement = abatement;
+                    const double values[] = {ci, yield, abatement};
+                    EXPECT_EQ(plan.evaluate(values),
+                              carbonPerArea(mutated, nm).value())
+                        << nm << " nm, ci " << ci << ", yield "
+                        << yield << ", abatement " << abatement;
+                }
+            }
+        }
+    }
+}
+
+TEST(EvalPlan, NamedPlanBoundAbatementMatchesNamedOracle)
+{
+    // Named-row plans replay carbonPerAreaNamed()'s unchecked column
+    // interpolation, including extrapolation below the 95% column.
+    const FabParams base;
+    const std::vector<EvalInput> bindings = {EvalInput::Abatement};
+    for (const auto &record :
+         data::FabDatabase::instance().records()) {
+        const EvalPlan plan =
+            EvalPlan::forNodeNamed(base, record.name, bindings);
+        for (const double abatement : {0.85, 0.90, 0.97, 1.0}) {
+            FabParams mutated = base;
+            mutated.abatement = abatement;
+            const double values[] = {abatement};
+            EXPECT_EQ(plan.evaluate(values),
+                      carbonPerAreaNamed(mutated,
+                                         record.name).value())
+                << record.name << " at abatement " << abatement;
+        }
+    }
+}
+
+TEST(EvalPlan, RawPlanComputesEq5)
+{
+    const std::vector<EvalInput> bindings = {
+        EvalInput::CiFab, EvalInput::Epa, EvalInput::Gpa,
+        EvalInput::Mpa, EvalInput::Yield};
+    const EvalPlan plan = EvalPlan::forRawCpa(
+        {447.5, 1.52, 275.0, 500.0, 0.875}, bindings);
+    EXPECT_EQ(plan.cpa().value(),
+              (447.5 * 1.52 + 275.0 + 500.0) / 0.875);
+    const double values[] = {500.0, 1.3, 250.0, 450.0, 0.9};
+    EXPECT_EQ(plan.evaluate(values),
+              (500.0 * 1.3 + 250.0 + 450.0) / 0.9);
+}
+
+TEST(EvalPlan, EvaluateBatchMatchesEvaluatePerSample)
+{
+    const FabParams base;
+    const std::vector<EvalInput> bindings = {
+        EvalInput::CiFab, EvalInput::Yield, EvalInput::Abatement};
+    const EvalPlan plan = EvalPlan::forNode(base, 7.0, bindings);
+
+    constexpr std::size_t kSamples = 257; // deliberately off-power-of-2
+    std::vector<double> ci(kSamples), yield(kSamples),
+        abatement(kSamples), batched(kSamples);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+        ci[s] = 30.0 + 2.3 * static_cast<double>(s);
+        yield[s] = 0.6 + 0.001 * static_cast<double>(s);
+        abatement[s] = 0.90 + 0.0003 * static_cast<double>(s);
+    }
+    const double *columns[] = {ci.data(), yield.data(),
+                               abatement.data()};
+    plan.evaluateBatch(kSamples, columns, batched.data());
+    for (std::size_t s = 0; s < kSamples; ++s) {
+        const double values[] = {ci[s], yield[s], abatement[s]};
+        EXPECT_EQ(batched[s], plan.evaluate(values)) << "sample " << s;
+    }
+}
+
+TEST(EvalPlan, InvalidInputsAreFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const FabParams fab;
+
+    // Unknown names.
+    EXPECT_EXIT(EvalPlan::forNodeNamed(fab, "6nm"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(EvalPlan::resolveTechnologyCps("unknown tech"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(EvalPlan::resolveRegionIntensity("Atlantis"),
+                ::testing::ExitedWithCode(1), "");
+
+    // Bad per-sample values, mirroring the uncompiled checks.
+    const std::vector<EvalInput> yield_only = {EvalInput::Yield};
+    const EvalPlan plan = EvalPlan::forNode(fab, 7.0, yield_only);
+    const double zero_yield[] = {0.0};
+    EXPECT_EXIT(plan.evaluate(zero_yield),
+                ::testing::ExitedWithCode(1), "");
+    const std::vector<EvalInput> abatement_only = {
+        EvalInput::Abatement};
+    const EvalPlan checked =
+        EvalPlan::forNode(fab, 7.0, abatement_only);
+    const double low_abatement[] = {0.5};
+    EXPECT_EXIT(checked.evaluate(low_abatement),
+                ::testing::ExitedWithCode(1), "");
+
+    // Bindings the plan cannot honor.
+    const std::vector<EvalInput> duplicate = {EvalInput::Yield,
+                                              EvalInput::Yield};
+    EXPECT_EXIT(EvalPlan::forNode(fab, 7.0, duplicate),
+                ::testing::ExitedWithCode(1), "");
+    const std::vector<EvalInput> epa_on_curve = {EvalInput::Epa};
+    EXPECT_EXIT(EvalPlan::forNode(fab, 7.0, epa_on_curve),
+                ::testing::ExitedWithCode(1), "");
+    const std::vector<EvalInput> abatement_on_raw = {
+        EvalInput::Abatement};
+    EXPECT_EXIT(EvalPlan::forRawCpa({}, abatement_on_raw),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace act::core

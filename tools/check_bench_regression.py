@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare a perf_microbench BENCH_results.json against the checked-in
+baseline and fail on large regressions of the tracked benchmarks.
+
+Raw nanosecond numbers are not comparable across machines, so the
+comparison is *calibrated*: both files must contain a calibration
+benchmark (default BM_CpaUncached, a pure-arithmetic kernel with no
+caching or threading effects), and every baseline time is rescaled by
+the calibration ratio before comparing. A tracked benchmark fails only
+when its calibrated CPU time exceeds the baseline by more than the
+tolerance factor (default 1.25, i.e. >25% slower).
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_CALIBRATE = "BM_CpaUncached"
+DEFAULT_CHECKS = ["BM_CpaCached", "BM_MonteCarloBatch"]
+
+
+def load_times(path):
+    """Map benchmark name -> CPU ns/iteration from a results file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    times = {}
+    for entry in document.get("benchmarks", []):
+        name = entry.get("name")
+        cpu = entry.get("cpu_time_ns")
+        if isinstance(name, str) and isinstance(cpu, (int, float)):
+            times[name] = float(cpu)
+    if not times:
+        raise SystemExit(f"error: no benchmark entries in {path}")
+    return times
+
+
+def require(times, name, path):
+    if name not in times:
+        raise SystemExit(f"error: benchmark '{name}' missing from {path}")
+    if times[name] <= 0.0:
+        raise SystemExit(f"error: benchmark '{name}' in {path} has a "
+                         "non-positive CPU time")
+    return times[name]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_baseline.json")
+    parser.add_argument("--results", required=True,
+                        help="freshly produced BENCH_results.json")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="fail when calibrated time exceeds "
+                        "baseline by this factor (default 1.25)")
+    parser.add_argument("--calibrate", default=DEFAULT_CALIBRATE,
+                        help="benchmark used to rescale for machine "
+                        f"speed (default {DEFAULT_CALIBRATE})")
+    parser.add_argument("--check", action="append", default=None,
+                        metavar="NAME",
+                        help="benchmark to compare (repeatable; "
+                        f"default {' '.join(DEFAULT_CHECKS)})")
+    args = parser.parse_args()
+    checks = args.check if args.check else DEFAULT_CHECKS
+    if args.tolerance <= 0.0:
+        raise SystemExit("error: tolerance must be positive")
+
+    baseline = load_times(args.baseline)
+    results = load_times(args.results)
+
+    scale = (require(results, args.calibrate, args.results) /
+             require(baseline, args.calibrate, args.baseline))
+    print(f"calibration ({args.calibrate}): this machine runs "
+          f"{scale:.3f}x the baseline machine's time")
+
+    failed = []
+    for name in checks:
+        expected = require(baseline, name, args.baseline) * scale
+        actual = require(results, name, args.results)
+        ratio = actual / expected
+        verdict = "ok" if ratio <= args.tolerance else "REGRESSION"
+        print(f"  {name}: {actual:.1f} ns vs calibrated baseline "
+              f"{expected:.1f} ns ({ratio:.3f}x) -- {verdict}")
+        if ratio > args.tolerance:
+            failed.append(name)
+
+    if failed:
+        print(f"FAIL: {', '.join(failed)} slower than "
+              f"{args.tolerance:.2f}x the calibrated baseline")
+        return 1
+    print(f"PASS: all {len(checks)} tracked benchmarks within "
+          f"{args.tolerance:.2f}x of the calibrated baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
