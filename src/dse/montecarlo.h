@@ -152,9 +152,20 @@ class MonteCarloScratch
         return columns_.data();
     }
 
+    /** A reusable buffer of at least @p n doubles for the raw RNG
+     *  unit stream (grown monotonically, like the columns). */
+    double *
+    unitScratch(std::size_t n)
+    {
+        if (units_.size() < n)
+            units_.resize(n);
+        return units_.data();
+    }
+
   private:
     std::size_t samples_ = 0;
     std::vector<double> values_;
+    std::vector<double> units_;
     std::vector<const double *> columns_;
 };
 
@@ -171,6 +182,23 @@ monteCarloBatchChunk(const std::vector<UncertainParameter> &parameters,
                      const BatchModel &model, util::IndexRange range,
                      util::Xorshift64Star &rng,
                      MonteCarloScratch &scratch);
+
+/**
+ * Fused chunk kernel for compiled plans: samples sub-blocks of the
+ * chunk directly into SoA columns (multi-lane RNG fill + vectorized
+ * inverse-CDF transforms) and evaluates each sub-block with
+ * EvalPlan::evaluateBatch while the columns are still in L1, instead
+ * of materializing the whole chunk and re-reading it. RNG consumption
+ * order, sampled values, and outputs are bit-identical to
+ * monteCarloChunk() / monteCarloBatchChunk() at every SIMD dispatch
+ * level. The sweep domains route through this; it is the hottest loop
+ * in the tree.
+ */
+MonteCarloPartial
+monteCarloPlanChunk(const std::vector<UncertainParameter> &parameters,
+                    const core::EvalPlan &plan, util::IndexRange range,
+                    util::Xorshift64Star &rng,
+                    MonteCarloScratch &scratch);
 
 /**
  * monteCarlo() over a batch kernel: same chunk layout, same per-chunk

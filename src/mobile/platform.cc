@@ -1,5 +1,7 @@
 #include "mobile/platform.h"
 
+#include <utility>
+
 #include "core/eval_plan.h"
 #include "sweep/engine.h"
 #include "util/trace.h"
@@ -74,11 +76,25 @@ compileMobilePlatforms(const core::FabParams &fab)
     const auto records = data::SocDatabase::instance().records();
     std::vector<CompiledPlatform> compiled;
     compiled.reserve(records.size());
+    // Several SoCs share a process node; memoize node -> CPA so each
+    // node compiles one plan. The database holds a handful of nodes,
+    // so a linear scan beats a map. Reusing the identical CPA value
+    // is bit-neutral by definition.
+    std::vector<std::pair<double, util::CarbonPerArea>> node_cpa;
+    const auto cpaForNode = [&](double node_nm) {
+        for (const auto &[nm, cpa] : node_cpa) {
+            if (nm == node_nm)
+                return cpa;
+        }
+        const util::CarbonPerArea cpa =
+            core::EvalPlan::forNode(fab, node_nm).cpa();
+        node_cpa.emplace_back(node_nm, cpa);
+        return cpa;
+    };
     for (const auto &record : records) {
         CompiledPlatform platform;
         platform.soc = &record;
-        platform.cpa =
-            core::EvalPlan::forNode(fab, record.node_nm).cpa();
+        platform.cpa = cpaForNode(record.node_nm);
         platform.dram_cps = core::EvalPlan::resolveTechnologyCps(
             record.dram_technology);
         platform.aggregate_score = record.aggregateScore();

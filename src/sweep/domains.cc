@@ -175,17 +175,19 @@ JsonChunkEvaluator
 cpaMonteCarloEvaluator(const SweepPlan &plan)
 {
     // Parsed and compiled once; shared read-only by every concurrent
-    // chunk. Chunks run the batch kernel over a reused thread-local
-    // SoA scratch -- same RNG consumption order as the scalar path,
-    // so partials (and merged results) keep their bits.
+    // chunk. Chunks run the fused plan kernel (sample + evaluate per
+    // cache-resident sub-block) over a reused thread-local SoA
+    // scratch -- same RNG consumption order as the scalar path at
+    // every SIMD dispatch level, so partials (and merged results)
+    // keep their bits.
     auto config = std::make_shared<const CpaMonteCarloConfig>(
         parseCpaMonteCarloConfig(plan));
-    const dse::BatchModel model = dse::batchModel(cpaPlan(*config));
-    return [config, model](std::size_t, util::IndexRange range,
-                           util::Xorshift64Star &rng) {
+    const core::EvalPlan compiled = cpaPlan(*config);
+    return [config, compiled](std::size_t, util::IndexRange range,
+                              util::Xorshift64Star &rng) {
         thread_local dse::MonteCarloScratch scratch;
-        return toJson(dse::monteCarloBatchChunk(
-            config->parameters, model, range, rng, scratch));
+        return toJson(dse::monteCarloPlanChunk(
+            config->parameters, compiled, range, rng, scratch));
     };
 }
 

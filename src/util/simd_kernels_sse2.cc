@@ -1,0 +1,358 @@
+/**
+ * @file
+ * The 2-lane kernel tier: SSE2 on x86-64 (part of the baseline ISA,
+ * so no special compile flags), NEON on aarch64, a null table
+ * elsewhere. The lane policies implement the surface documented in
+ * simd_kernels_impl.h; see that file for why the templates are
+ * included inside an anonymous namespace.
+ *
+ * The fiddly parts, shared with the AVX2 tier:
+ *  - 64-bit multiply by the xorshift64* constant without a 64-bit
+ *    vector multiply instruction (pre-AVX-512 x86 has none): three
+ *    32x32->64 partial products, with the high-of-high product
+ *    dropped because it shifts past bit 63.
+ *  - Exact uint64 -> double for the 53-bit value v >> 11: split into
+ *    a 21-bit high and 32-bit low half, convert each exactly via the
+ *    2^52 magic-number trick, recombine as hi * 2^32 + lo (exact:
+ *    hi * 2^32 needs <= 21 significand bits, the sum <= 53). The
+ *    final * 2^-53 is a power-of-two scale, also exact.
+ *  - std::max(0.0, x) and `u < pivot ? a : b` replicated with
+ *    compare + blend so NaN and signed-zero lanes behave exactly like
+ *    the scalar operators.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd_kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace act::util::simd {
+
+namespace {
+
+#include "util/simd_kernels_impl.h"
+
+struct LanesSse2
+{
+    static constexpr std::size_t kLanes = 2;
+    using VF = __m128d;
+    using VU = __m128i;
+
+    static VF
+    bcast(double v)
+    {
+        return _mm_set1_pd(v);
+    }
+    static VF
+    loadu(const double *p)
+    {
+        return _mm_loadu_pd(p);
+    }
+    static VF
+    loadStride(const double *p, std::size_t stride)
+    {
+        return _mm_set_pd(p[stride], p[0]);
+    }
+    static void
+    storeu(double *p, VF v)
+    {
+        _mm_storeu_pd(p, v);
+    }
+    static VF
+    add(VF a, VF b)
+    {
+        return _mm_add_pd(a, b);
+    }
+    static VF
+    sub(VF a, VF b)
+    {
+        return _mm_sub_pd(a, b);
+    }
+    static VF
+    mul(VF a, VF b)
+    {
+        return _mm_mul_pd(a, b);
+    }
+    static VF
+    div(VF a, VF b)
+    {
+        return _mm_div_pd(a, b);
+    }
+    static VF
+    sqrt(VF a)
+    {
+        return _mm_sqrt_pd(a);
+    }
+    static VF
+    max0(VF a)
+    {
+        // maxpd(a, 0): picks the second operand on NaN and on the
+        // (+0, -0) tie -- exactly std::max(0.0, x).
+        return _mm_max_pd(a, _mm_setzero_pd());
+    }
+    static VF
+    blendLess(VF u, VF pivot, VF lo, VF hi)
+    {
+        const VF mask = _mm_cmplt_pd(u, pivot);
+        return _mm_or_pd(_mm_and_pd(mask, lo),
+                         _mm_andnot_pd(mask, hi));
+    }
+    static VF
+    within(VF x, VF lo, VF hi, bool lo_exclusive)
+    {
+        const VF above = lo_exclusive ? _mm_cmpgt_pd(x, lo)
+                                      : _mm_cmpge_pd(x, lo);
+        return _mm_and_pd(above, _mm_cmple_pd(x, hi));
+    }
+    static bool
+    allLanes(VF mask)
+    {
+        return _mm_movemask_pd(mask) == 0x3;
+    }
+    static VU
+    fromLanes(const std::uint64_t *lane)
+    {
+        return _mm_set_epi64x(static_cast<long long>(lane[1]),
+                              static_cast<long long>(lane[0]));
+    }
+    static std::uint64_t
+    lane0(VU v)
+    {
+        return static_cast<std::uint64_t>(_mm_cvtsi128_si64(v));
+    }
+    static VU
+    xorshiftStep(VU x)
+    {
+        x = _mm_xor_si128(x, _mm_srli_epi64(x, 12));
+        x = _mm_xor_si128(x, _mm_slli_epi64(x, 25));
+        x = _mm_xor_si128(x, _mm_srli_epi64(x, 27));
+        return x;
+    }
+    static VU
+    mulM(VU x)
+    {
+        const VU mlo = _mm_set1_epi64x(
+            static_cast<long long>(kXorshiftMultiplier & 0xFFFFFFFFULL));
+        const VU mhi = _mm_set1_epi64x(
+            static_cast<long long>(kXorshiftMultiplier >> 32));
+        const VU lolo = _mm_mul_epu32(x, mlo);
+        const VU hilo = _mm_mul_epu32(_mm_srli_epi64(x, 32), mlo);
+        const VU lohi = _mm_mul_epu32(x, mhi);
+        return _mm_add_epi64(
+            lolo, _mm_slli_epi64(_mm_add_epi64(hilo, lohi), 32));
+    }
+    static VF
+    u32InU64ToDouble(VU v)
+    {
+        const VU magic = _mm_set1_epi64x(0x4330000000000000LL);
+        return _mm_sub_pd(_mm_castsi128_pd(_mm_or_si128(v, magic)),
+                          _mm_set1_pd(0x1.0p52));
+    }
+    static VF
+    unitFromValue(VU v)
+    {
+        const VU u = _mm_srli_epi64(v, 11);
+        const VU hi = _mm_srli_epi64(u, 32);
+        const VU lo =
+            _mm_and_si128(u, _mm_set1_epi64x(0xFFFFFFFFLL));
+        const VF recombined =
+            _mm_add_pd(_mm_mul_pd(u32InU64ToDouble(hi),
+                                  _mm_set1_pd(0x1.0p32)),
+                       u32InU64ToDouble(lo));
+        return _mm_mul_pd(recombined, _mm_set1_pd(0x1.0p-53));
+    }
+};
+
+} // namespace
+
+const KernelTable *
+sse2Kernels()
+{
+    static const KernelTable table = {
+        &fillUnitsT<LanesSse2>,
+        &transformUniformT<LanesSse2>,
+        &transformTriangularT<LanesSse2>,
+        &evalRatioT<LanesSse2>,
+        &allWithinT<LanesSse2>,
+    };
+    return &table;
+}
+
+} // namespace act::util::simd
+
+#elif defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace act::util::simd {
+
+namespace {
+
+#include "util/simd_kernels_impl.h"
+
+struct LanesNeon
+{
+    static constexpr std::size_t kLanes = 2;
+    using VF = float64x2_t;
+    using VU = uint64x2_t;
+
+    static VF
+    bcast(double v)
+    {
+        return vdupq_n_f64(v);
+    }
+    static VF
+    loadu(const double *p)
+    {
+        return vld1q_f64(p);
+    }
+    static VF
+    loadStride(const double *p, std::size_t stride)
+    {
+        const double lanes[2] = {p[0], p[stride]};
+        return vld1q_f64(lanes);
+    }
+    static void
+    storeu(double *p, VF v)
+    {
+        vst1q_f64(p, v);
+    }
+    static VF
+    add(VF a, VF b)
+    {
+        return vaddq_f64(a, b);
+    }
+    static VF
+    sub(VF a, VF b)
+    {
+        return vsubq_f64(a, b);
+    }
+    static VF
+    mul(VF a, VF b)
+    {
+        return vmulq_f64(a, b);
+    }
+    static VF
+    div(VF a, VF b)
+    {
+        return vdivq_f64(a, b);
+    }
+    static VF
+    sqrt(VF a)
+    {
+        return vsqrtq_f64(a);
+    }
+    static VF
+    max0(VF a)
+    {
+        // vmaxq_f64 propagates NaN, unlike std::max(0.0, x) which
+        // returns 0 -- so build the select by hand.
+        const VF zero = vdupq_n_f64(0.0);
+        return vbslq_f64(vcgtq_f64(a, zero), a, zero);
+    }
+    static VF
+    blendLess(VF u, VF pivot, VF lo, VF hi)
+    {
+        return vbslq_f64(vcltq_f64(u, pivot), lo, hi);
+    }
+    static VF
+    within(VF x, VF lo, VF hi, bool lo_exclusive)
+    {
+        const uint64x2_t above = lo_exclusive ? vcgtq_f64(x, lo)
+                                              : vcgeq_f64(x, lo);
+        return vreinterpretq_f64_u64(
+            vandq_u64(above, vcleq_f64(x, hi)));
+    }
+    static bool
+    allLanes(VF mask)
+    {
+        const uint64x2_t m = vreinterpretq_u64_f64(mask);
+        return (vgetq_lane_u64(m, 0) & vgetq_lane_u64(m, 1)) ==
+               ~std::uint64_t{0};
+    }
+    static VU
+    fromLanes(const std::uint64_t *lane)
+    {
+        return vld1q_u64(lane);
+    }
+    static std::uint64_t
+    lane0(VU v)
+    {
+        return vgetq_lane_u64(v, 0);
+    }
+    static VU
+    xorshiftStep(VU x)
+    {
+        x = veorq_u64(x, vshrq_n_u64(x, 12));
+        x = veorq_u64(x, vshlq_n_u64(x, 25));
+        x = veorq_u64(x, vshrq_n_u64(x, 27));
+        return x;
+    }
+    static VU
+    mulM(VU x)
+    {
+        // NEON has no 64x64 vector multiply either; two scalar
+        // multiplies through a lane round-trip beat the partial-
+        // product dance on every aarch64 core we care about.
+        std::uint64_t lanes[2];
+        vst1q_u64(lanes, x);
+        lanes[0] *= kXorshiftMultiplier;
+        lanes[1] *= kXorshiftMultiplier;
+        return vld1q_u64(lanes);
+    }
+    static VF
+    u32InU64ToDouble(VU v)
+    {
+        const VU magic = vdupq_n_u64(0x4330000000000000ULL);
+        return vsubq_f64(vreinterpretq_f64_u64(vorrq_u64(v, magic)),
+                         vdupq_n_f64(0x1.0p52));
+    }
+    static VF
+    unitFromValue(VU v)
+    {
+        const VU u = vshrq_n_u64(v, 11);
+        const VU hi = vshrq_n_u64(u, 32);
+        const VU lo = vandq_u64(u, vdupq_n_u64(0xFFFFFFFFULL));
+        const VF recombined =
+            vaddq_f64(vmulq_f64(u32InU64ToDouble(hi),
+                                vdupq_n_f64(0x1.0p32)),
+                      u32InU64ToDouble(lo));
+        return vmulq_f64(recombined, vdupq_n_f64(0x1.0p-53));
+    }
+};
+
+} // namespace
+
+const KernelTable *
+sse2Kernels()
+{
+    static const KernelTable table = {
+        &fillUnitsT<LanesNeon>,
+        &transformUniformT<LanesNeon>,
+        &transformTriangularT<LanesNeon>,
+        &evalRatioT<LanesNeon>,
+        &allWithinT<LanesNeon>,
+    };
+    return &table;
+}
+
+} // namespace act::util::simd
+
+#else
+
+namespace act::util::simd {
+
+const KernelTable *
+sse2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace act::util::simd
+
+#endif

@@ -10,6 +10,13 @@ the calibration ratio before comparing. A tracked benchmark fails only
 when its calibrated CPU time exceeds the baseline by more than the
 tolerance factor (default 1.25, i.e. >25% slower).
 
+Large *improvements* are reported too: a tracked benchmark running
+faster than 1/tolerance of the calibrated baseline (>25% faster by
+default) prints a "baseline stale -- refresh" notice. That still exits
+0 -- speedups never break CI -- but it is the cue to re-run with
+--update-baseline, which rewrites the baseline file from the results
+file so future comparisons measure against the new floor.
+
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
 """
 
@@ -48,6 +55,32 @@ def require(times, name, path):
     return times[name]
 
 
+def update_baseline(baseline_path, results_path):
+    """Rewrite the baseline file from a fresh results file."""
+    try:
+        with open(results_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read {results_path}: {error}")
+    entries = [entry for entry in document.get("benchmarks", [])
+               if isinstance(entry.get("name"), str)]
+    if not entries:
+        raise SystemExit(
+            f"error: no benchmark entries in {results_path}")
+    entries.sort(key=lambda entry: entry["name"])
+    try:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump({"benchmarks": entries}, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        raise SystemExit(
+            f"error: cannot write {baseline_path}: {error}")
+    print(f"updated {baseline_path} from {results_path} "
+          f"({len(entries)} benchmarks)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -64,10 +97,16 @@ def main():
                         metavar="NAME",
                         help="benchmark to compare (repeatable; "
                         f"default {' '.join(DEFAULT_CHECKS)})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file from the "
+                        "results file instead of comparing")
     args = parser.parse_args()
     checks = args.check if args.check else DEFAULT_CHECKS
     if args.tolerance <= 0.0:
         raise SystemExit("error: tolerance must be positive")
+
+    if args.update_baseline:
+        return update_baseline(args.baseline, args.results)
 
     baseline = load_times(args.baseline)
     results = load_times(args.results)
@@ -78,20 +117,31 @@ def main():
           f"{scale:.3f}x the baseline machine's time")
 
     failed = []
+    stale = []
     for name in checks:
         expected = require(baseline, name, args.baseline) * scale
         actual = require(results, name, args.results)
         ratio = actual / expected
-        verdict = "ok" if ratio <= args.tolerance else "REGRESSION"
+        if ratio > args.tolerance:
+            verdict = "REGRESSION"
+            failed.append(name)
+        elif ratio < 1.0 / args.tolerance:
+            verdict = "improved"
+            stale.append(name)
+        else:
+            verdict = "ok"
         print(f"  {name}: {actual:.1f} ns vs calibrated baseline "
               f"{expected:.1f} ns ({ratio:.3f}x) -- {verdict}")
-        if ratio > args.tolerance:
-            failed.append(name)
 
     if failed:
         print(f"FAIL: {', '.join(failed)} slower than "
               f"{args.tolerance:.2f}x the calibrated baseline")
         return 1
+    if stale:
+        print(f"NOTICE: {', '.join(stale)} more than "
+              f"{args.tolerance:.2f}x faster than the calibrated "
+              "baseline -- baseline stale, refresh it with "
+              "--update-baseline")
     print(f"PASS: all {len(checks)} tracked benchmarks within "
           f"{args.tolerance:.2f}x of the calibrated baseline")
     return 0
