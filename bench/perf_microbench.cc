@@ -15,6 +15,10 @@
 #include <string>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "accel/design_space.h"
 #include "config/json.h"
 #include "core/cpa_cache.h"
@@ -399,11 +403,47 @@ class JsonEmittingReporter : public benchmark::ConsoleReporter
     config::JsonArray results_;
 };
 
+#ifndef ACT_GIT_SHA
+#define ACT_GIT_SHA "unknown"
+#endif
+
+/**
+ * The run's provenance stamp: numbers from a different machine, SIMD
+ * dispatch level, commit, or thread setting are not comparable, and
+ * check_bench_regression.py warns when baseline and candidate stamps
+ * disagree.
+ */
+config::JsonValue
+provenance()
+{
+    std::string hostname = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    char buffer[256] = {};
+    if (gethostname(buffer, sizeof(buffer) - 1) == 0 &&
+        buffer[0] != '\0') {
+        hostname = buffer;
+    }
+#endif
+    const char *threads = std::getenv("ACT_THREADS");
+    config::JsonObject stamp;
+    stamp["git_sha"] = config::JsonValue(ACT_GIT_SHA);
+    stamp["simd_level"] = config::JsonValue(
+        util::simdLevelName(util::simdLevel()));
+    stamp["act_threads"] = config::JsonValue(
+        threads != nullptr && *threads != '\0' ? threads : "auto");
+    stamp["hostname"] = config::JsonValue(std::move(hostname));
+    return config::JsonValue(std::move(stamp));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Capture the stamp before any benchmark forces a SIMD level; this
+    // is what runtime dispatch actually selected on this host.
+    const act::config::JsonValue stamp = provenance();
+
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -414,6 +454,7 @@ main(int argc, char **argv)
     const std::string path =
         env != nullptr && *env != '\0' ? env : "BENCH_results.json";
     act::config::JsonObject root;
+    root["provenance"] = stamp;
     root["benchmarks"] = act::config::JsonValue(reporter.takeResults());
     act::config::saveJsonFile(path, act::config::JsonValue(
                                         std::move(root)));

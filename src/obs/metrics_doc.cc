@@ -1,0 +1,391 @@
+#include "obs/metrics_doc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace act::obs {
+
+using config::JsonArray;
+using config::JsonObject;
+using config::JsonValue;
+
+const char *const kMetricsFormat = "act.metrics.v1";
+
+namespace {
+
+/** Numeric rendering for exposition output: integers stay integral,
+ *  everything else gets enough digits to be faithful. */
+std::string
+formatNumber(double value)
+{
+    char buffer[64];
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    }
+    return buffer;
+}
+
+/** Prometheus metric name: `act_` prefix, [a-zA-Z0-9_:] body. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "act_";
+    for (const char c : name) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' ||
+                          c == ':';
+        out += keep ? c : '_';
+    }
+    return out;
+}
+
+const JsonObject &
+requireObject(const JsonValue &doc, const char *key)
+{
+    static const JsonObject empty;
+    if (!doc.contains(key))
+        return empty;
+    const JsonValue &value = doc.at(key);
+    if (!value.isObject())
+        util::fatal("metrics document field '", key,
+                    "' must be an object");
+    return value.asObject();
+}
+
+std::vector<double>
+numberArray(const JsonValue &value, const std::string &context)
+{
+    if (!value.isArray())
+        util::fatal("metrics document ", context, " must be an array");
+    std::vector<double> out;
+    out.reserve(value.asArray().size());
+    for (const JsonValue &entry : value.asArray()) {
+        if (!entry.isNumber())
+            util::fatal("metrics document ", context,
+                        " must contain only numbers");
+        out.push_back(entry.asNumber());
+    }
+    return out;
+}
+
+/** Working form of one histogram while merging. */
+struct HistogramAccumulator
+{
+    std::vector<double> bounds;
+    std::vector<double> counts;
+    double count = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+JsonValue
+histogramToJson(const HistogramAccumulator &histogram)
+{
+    JsonObject object;
+    JsonArray bounds;
+    bounds.reserve(histogram.bounds.size());
+    for (const double bound : histogram.bounds)
+        bounds.emplace_back(bound);
+    JsonArray counts;
+    counts.reserve(histogram.counts.size());
+    for (const double count : histogram.counts)
+        counts.emplace_back(count);
+    object["bounds"] = JsonValue(std::move(bounds));
+    object["counts"] = JsonValue(std::move(counts));
+    object["count"] = JsonValue(histogram.count);
+    object["sum"] = JsonValue(histogram.sum);
+    object["min"] = JsonValue(histogram.min);
+    object["max"] = JsonValue(histogram.max);
+    return JsonValue(std::move(object));
+}
+
+JsonValue
+gaugeToJson(const std::vector<double> &values)
+{
+    JsonObject object;
+    JsonArray list;
+    list.reserve(values.size());
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    for (const double value : values) {
+        list.emplace_back(value);
+        min = std::min(min, value);
+        max = std::max(max, value);
+        sum += value;
+    }
+    object["values"] = JsonValue(std::move(list));
+    if (!values.empty()) {
+        object["min"] = JsonValue(min);
+        object["max"] = JsonValue(max);
+        object["mean"] =
+            JsonValue(sum / static_cast<double>(values.size()));
+    }
+    return JsonValue(std::move(object));
+}
+
+} // namespace
+
+JsonValue
+metricsToJson(const util::MetricsSnapshot &snapshot)
+{
+    JsonObject counters;
+    for (const auto &[name, value] : snapshot.counters)
+        counters[name] = JsonValue(static_cast<double>(value));
+
+    JsonObject gauges;
+    for (const auto &[name, value] : snapshot.gauges)
+        gauges[name] = gaugeToJson({value});
+
+    JsonObject histograms;
+    for (const util::HistogramSnapshot &histogram :
+         snapshot.histograms) {
+        HistogramAccumulator accumulator;
+        for (const auto &[bound, count] : histogram.buckets) {
+            // The last bucket's bound is +infinity, which JSON cannot
+            // carry; the overflow bucket is implied by counts having
+            // one more entry than bounds.
+            if (std::isfinite(bound))
+                accumulator.bounds.push_back(bound);
+            accumulator.counts.push_back(static_cast<double>(count));
+        }
+        accumulator.count = static_cast<double>(histogram.count);
+        accumulator.sum = histogram.sum;
+        accumulator.min = histogram.min;
+        accumulator.max = histogram.max;
+        histograms[histogram.name] = histogramToJson(accumulator);
+    }
+
+    JsonObject document;
+    document["format"] = JsonValue(kMetricsFormat);
+    document["counters"] = JsonValue(std::move(counters));
+    document["gauges"] = JsonValue(std::move(gauges));
+    document["histograms"] = JsonValue(std::move(histograms));
+    return JsonValue(std::move(document));
+}
+
+const JsonValue &
+validateMetricsDoc(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        util::fatal("metrics document must be a JSON object");
+    const std::string format = doc.stringOr("format", "");
+    if (format != kMetricsFormat)
+        util::fatal("not a metrics document (format '", format,
+                    "', expected '", kMetricsFormat, "')");
+    for (const auto &[name, value] : requireObject(doc, "counters")) {
+        if (!value.isNumber() || value.asNumber() < 0.0)
+            util::fatal("metrics counter '", name,
+                        "' must be a non-negative number");
+    }
+    for (const auto &[name, value] : requireObject(doc, "gauges")) {
+        if (!value.isObject())
+            util::fatal("metrics gauge '", name,
+                        "' must be an object");
+        numberArray(value.at("values"), "gauge '" + name + "' values");
+    }
+    for (const auto &[name, value] : requireObject(doc, "histograms")) {
+        if (!value.isObject())
+            util::fatal("metrics histogram '", name,
+                        "' must be an object");
+        const std::vector<double> bounds =
+            numberArray(value.at("bounds"),
+                        "histogram '" + name + "' bounds");
+        if (!std::is_sorted(bounds.begin(), bounds.end()))
+            util::fatal("metrics histogram '", name,
+                        "' bounds must be ascending");
+        const std::vector<double> counts =
+            numberArray(value.at("counts"),
+                        "histogram '" + name + "' counts");
+        if (counts.size() != bounds.size() + 1)
+            util::fatal("metrics histogram '", name, "' needs ",
+                        bounds.size() + 1, " bucket counts (bounds + "
+                        "overflow), got ", counts.size());
+        for (const char *field : {"count", "sum", "min", "max"}) {
+            if (!value.contains(field) || !value.at(field).isNumber())
+                util::fatal("metrics histogram '", name,
+                            "' is missing numeric field '", field,
+                            "'");
+        }
+    }
+    return doc;
+}
+
+JsonValue
+mergeMetricsDocs(const std::vector<JsonValue> &docs)
+{
+    std::map<std::string, double> counters;
+    std::map<std::string, std::vector<double>> gauges;
+    std::map<std::string, HistogramAccumulator> histograms;
+
+    for (const JsonValue &doc : docs) {
+        validateMetricsDoc(doc);
+        for (const auto &[name, value] : requireObject(doc, "counters"))
+            counters[name] += value.asNumber();
+        for (const auto &[name, value] : requireObject(doc, "gauges")) {
+            const std::vector<double> values =
+                numberArray(value.at("values"),
+                            "gauge '" + name + "' values");
+            auto &merged = gauges[name];
+            merged.insert(merged.end(), values.begin(), values.end());
+        }
+        for (const auto &[name, value] :
+             requireObject(doc, "histograms")) {
+            const std::vector<double> bounds =
+                numberArray(value.at("bounds"),
+                            "histogram '" + name + "' bounds");
+            const std::vector<double> counts =
+                numberArray(value.at("counts"),
+                            "histogram '" + name + "' counts");
+            const double count = value.at("count").asNumber();
+            auto found = histograms.find(name);
+            if (found == histograms.end()) {
+                HistogramAccumulator accumulator;
+                accumulator.bounds = bounds;
+                accumulator.counts = counts;
+                accumulator.count = count;
+                accumulator.sum = value.at("sum").asNumber();
+                accumulator.min = value.at("min").asNumber();
+                accumulator.max = value.at("max").asNumber();
+                histograms.emplace(name, std::move(accumulator));
+                continue;
+            }
+            HistogramAccumulator &merged = found->second;
+            // Bucket-wise merging is only meaningful when every shard
+            // used the same ladder; refuse to misbin rather than
+            // produce quietly wrong quantiles.
+            if (merged.bounds != bounds)
+                util::fatal("cannot merge metrics: histogram '", name,
+                            "' has incompatible bucket bounds across "
+                            "snapshots");
+            for (std::size_t i = 0; i < counts.size(); ++i)
+                merged.counts[i] += counts[i];
+            if (count > 0.0) {
+                if (merged.count == 0.0) {
+                    merged.min = value.at("min").asNumber();
+                    merged.max = value.at("max").asNumber();
+                } else {
+                    merged.min = std::min(merged.min,
+                                          value.at("min").asNumber());
+                    merged.max = std::max(merged.max,
+                                          value.at("max").asNumber());
+                }
+            }
+            merged.count += count;
+            merged.sum += value.at("sum").asNumber();
+        }
+    }
+
+    JsonObject counters_json;
+    for (const auto &[name, value] : counters)
+        counters_json[name] = JsonValue(value);
+    JsonObject gauges_json;
+    for (const auto &[name, values] : gauges)
+        gauges_json[name] = gaugeToJson(values);
+    JsonObject histograms_json;
+    for (const auto &[name, histogram] : histograms)
+        histograms_json[name] = histogramToJson(histogram);
+
+    JsonObject document;
+    document["format"] = JsonValue(kMetricsFormat);
+    document["counters"] = JsonValue(std::move(counters_json));
+    document["gauges"] = JsonValue(std::move(gauges_json));
+    document["histograms"] = JsonValue(std::move(histograms_json));
+    return JsonValue(std::move(document));
+}
+
+std::string
+renderPrometheus(const JsonValue &doc)
+{
+    validateMetricsDoc(doc);
+    std::string out;
+
+    for (const auto &[name, value] : requireObject(doc, "counters")) {
+        const std::string metric = promName(name);
+        out += "# TYPE " + metric + " counter\n";
+        out += metric + " " + formatNumber(value.asNumber()) + "\n";
+    }
+
+    for (const auto &[name, value] : requireObject(doc, "gauges")) {
+        const std::vector<double> values =
+            numberArray(value.at("values"), "gauge values");
+        const std::string metric = promName(name);
+        out += "# TYPE " + metric + " gauge\n";
+        if (values.size() == 1) {
+            out += metric + " " + formatNumber(values[0]) + "\n";
+        } else {
+            for (std::size_t i = 0; i < values.size(); ++i) {
+                out += metric + "{shard=\"" + std::to_string(i) +
+                       "\"} " + formatNumber(values[i]) + "\n";
+            }
+        }
+    }
+
+    for (const auto &[name, value] : requireObject(doc, "histograms")) {
+        const std::vector<double> bounds =
+            numberArray(value.at("bounds"), "histogram bounds");
+        const std::vector<double> counts =
+            numberArray(value.at("counts"), "histogram counts");
+        const std::string metric = promName(name);
+        out += "# TYPE " + metric + " histogram\n";
+        double cumulative = 0.0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            cumulative += counts[i];
+            const std::string le = i < bounds.size()
+                                       ? formatNumber(bounds[i])
+                                       : std::string("+Inf");
+            out += metric + "_bucket{le=\"" + le + "\"} " +
+                   formatNumber(cumulative) + "\n";
+        }
+        out += metric + "_sum " +
+               formatNumber(value.at("sum").asNumber()) + "\n";
+        out += metric + "_count " +
+               formatNumber(value.at("count").asNumber()) + "\n";
+    }
+    return out;
+}
+
+std::string
+renderMetricsDocTable(const JsonValue &doc)
+{
+    validateMetricsDoc(doc);
+    util::Table table(
+        {"Metric", "Type", "Count", "Mean", "Min", "Max"});
+    for (const auto &[name, value] : requireObject(doc, "counters")) {
+        table.addRow({name, "counter",
+                      formatNumber(value.asNumber()), "", "", ""});
+    }
+    for (const auto &[name, value] : requireObject(doc, "gauges")) {
+        const std::vector<double> values =
+            numberArray(value.at("values"), "gauge values");
+        table.addRow(
+            {name, "gauge", std::to_string(values.size()),
+             util::formatSig(value.numberOr("mean", 0.0), 4),
+             util::formatSig(value.numberOr("min", 0.0), 4),
+             util::formatSig(value.numberOr("max", 0.0), 4)});
+    }
+    for (const auto &[name, value] : requireObject(doc, "histograms")) {
+        const double count = value.at("count").asNumber();
+        const double mean =
+            count > 0.0 ? value.at("sum").asNumber() / count : 0.0;
+        table.addRow({name, "histogram", formatNumber(count),
+                      util::formatSig(mean, 4),
+                      util::formatSig(value.at("min").asNumber(), 4),
+                      util::formatSig(value.at("max").asNumber(), 4)});
+    }
+    return table.render();
+}
+
+} // namespace act::obs

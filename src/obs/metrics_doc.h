@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Serializable, mergeable metrics snapshots: the `act.metrics.v1` JSON
+ * document. A document captures one process's `util::MetricsRegistry`
+ * snapshot in a form that survives process boundaries -- counters,
+ * gauges, and histograms with explicit bucket bounds plus their
+ * always-live sum/count/min/max -- so a sharded sweep's telemetry can
+ * be aggregated exactly like its results are (see sweep/engine.h).
+ *
+ * Document shape (all maps are name-keyed objects, so serialization
+ * is deterministic via the config JSON writer's ordered maps):
+ *
+ *   {
+ *     "format": "act.metrics.v1",
+ *     "counters":   { "sweep.items": 10000, ... },
+ *     "gauges":     { "pool.util": {"values": [0.5, 0.7],
+ *                                   "min": 0.5, "max": 0.7,
+ *                                   "mean": 0.6}, ... },
+ *     "histograms": { "parallel.chunk_us": {
+ *                       "bounds": [1, 2, 5, ...],   // finite uppers
+ *                       "counts": [3, 0, 1, ...],   // bounds + overflow
+ *                       "count": 4, "sum": 18.25,
+ *                       "min": 0.5, "max": 9.75 }, ... }
+ *   }
+ *
+ * Merge semantics (mergeMetricsDocs): counters sum; histograms merge
+ * bucket-wise after an exact bounds-compatibility check (mismatched
+ * ladders are fatal, never silently misbinned); gauges keep every
+ * per-shard value and recompute min/max/mean. Merging one document is
+ * the identity, so single- and multi-process paths share one schema.
+ */
+
+#ifndef ACT_OBS_METRICS_DOC_H
+#define ACT_OBS_METRICS_DOC_H
+
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "util/metrics.h"
+
+namespace act::obs {
+
+/** The "format" field every act.metrics.v1 document carries. */
+extern const char *const kMetricsFormat;
+
+/** Serialize one process's snapshot as an act.metrics.v1 document. */
+config::JsonValue metricsToJson(const util::MetricsSnapshot &snapshot);
+
+/**
+ * Validate the schema of @p doc (format tag, counters/gauges/histogram
+ * shapes, counts arrays sized bounds + 1). Fatal on violation; returns
+ * the document so call sites can validate-and-use in one expression.
+ */
+const config::JsonValue &validateMetricsDoc(const config::JsonValue &doc);
+
+/**
+ * Merge act.metrics.v1 documents into one: counters sum, histogram
+ * buckets and statistics combine, gauge value lists concatenate in
+ * input order. Fatal when a document is malformed or two histograms
+ * with the same name disagree on bucket bounds. An empty input vector
+ * yields an empty (but valid) document.
+ */
+config::JsonValue
+mergeMetricsDocs(const std::vector<config::JsonValue> &docs);
+
+/**
+ * Render a document in the Prometheus text exposition format
+ * (version 0.0.4): metric names are prefixed with `act_` and
+ * sanitized, counters/gauges map to their native types, histograms
+ * emit cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+ * Multi-shard gauge values carry a `shard` label.
+ */
+std::string renderPrometheus(const config::JsonValue &doc);
+
+/** ASCII table (util/table) of a document, for `act merge` output. */
+std::string renderMetricsDocTable(const config::JsonValue &doc);
+
+} // namespace act::obs
+
+#endif // ACT_OBS_METRICS_DOC_H

@@ -1,8 +1,11 @@
 #include "sweep/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
+#include "obs/heartbeat.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -70,9 +73,49 @@ mapGrain(std::size_t items)
 
 } // namespace detail
 
+namespace {
+
+/** Per-run heartbeat state: shared counters plus the gated writer. */
+struct HeartbeatState
+{
+    obs::HeartbeatWriter writer;
+    obs::Heartbeat base;
+    std::atomic<std::uint64_t> items_done{0};
+    std::atomic<std::size_t> chunks_done{0};
+
+    HeartbeatState(const ShardRunOptions &options,
+                   obs::Heartbeat base_in)
+        : writer(options.heartbeat_path, options.heartbeat_interval_s),
+          base(std::move(base_in))
+    {}
+
+    void
+    publish(bool force, bool done)
+    {
+        obs::Heartbeat heartbeat = base;
+        heartbeat.items_done =
+            items_done.load(std::memory_order_relaxed);
+        heartbeat.chunks_done =
+            chunks_done.load(std::memory_order_relaxed);
+        heartbeat.update_wall_s = obs::wallClockSeconds();
+        const double elapsed =
+            heartbeat.update_wall_s - heartbeat.start_wall_s;
+        heartbeat.items_per_sec =
+            elapsed > 0.0
+                ? static_cast<double>(heartbeat.items_done) / elapsed
+                : 0.0;
+        heartbeat.rss_mb = obs::processRssMb();
+        heartbeat.done = done;
+        writer.beat(heartbeat, force);
+    }
+};
+
+} // namespace
+
 ShardResult
 runShardedSweep(const SweepPlan &plan, const ShardSpec &shard,
-                const JsonChunkEvaluator &evaluator)
+                const JsonChunkEvaluator &evaluator,
+                const ShardRunOptions &options)
 {
     if (plan.items == 0)
         util::fatal("sweep plan '", plan.domain, "' has no items");
@@ -89,6 +132,22 @@ runShardedSweep(const SweepPlan &plan, const ShardSpec &shard,
     const std::vector<util::IndexRange> owned_chunks(
         chunks.begin() + static_cast<std::ptrdiff_t>(owned.begin),
         chunks.begin() + static_cast<std::ptrdiff_t>(owned.end));
+
+    std::unique_ptr<HeartbeatState> heartbeat;
+    if (!options.heartbeat_path.empty()) {
+        obs::Heartbeat base;
+        base.domain = plan.domain;
+        base.shard_index = shard.shard_index;
+        base.shard_count = shard.shard_count;
+        for (const util::IndexRange &chunk : owned_chunks)
+            base.items_total += chunk.size();
+        base.chunks_total = owned_chunks.size();
+        base.start_wall_s = obs::wallClockSeconds();
+        heartbeat =
+            std::make_unique<HeartbeatState>(options, std::move(base));
+        heartbeat->publish(/*force=*/true, /*done=*/false);
+    }
+
     detail::runPlanChunks(
         plan, owned_chunks, owned.begin,
         [&](std::size_t chunk, util::IndexRange range) {
@@ -98,8 +157,24 @@ runShardedSweep(const SweepPlan &plan, const ShardSpec &shard,
                 util::deriveSeed(plan.seed, chunk));
             result.chunks[chunk - owned.begin] =
                 evaluator(chunk, range, rng);
+            if (heartbeat != nullptr) {
+                heartbeat->items_done.fetch_add(
+                    range.size(), std::memory_order_relaxed);
+                heartbeat->chunks_done.fetch_add(
+                    1, std::memory_order_relaxed);
+                heartbeat->publish(/*force=*/false, /*done=*/false);
+            }
         });
+    if (heartbeat != nullptr)
+        heartbeat->publish(/*force=*/true, /*done=*/true);
     return result;
+}
+
+ShardResult
+runShardedSweep(const SweepPlan &plan, const ShardSpec &shard,
+                const JsonChunkEvaluator &evaluator)
+{
+    return runShardedSweep(plan, shard, evaluator, ShardRunOptions{});
 }
 
 JsonValue
@@ -115,6 +190,8 @@ toJson(const ShardResult &result)
     object["chunk_begin"] =
         JsonValue(static_cast<double>(result.chunk_begin));
     object["chunks"] = JsonValue(JsonArray(result.chunks));
+    if (!result.metrics.isNull())
+        object["metrics"] = result.metrics;
     return JsonValue(std::move(object));
 }
 
@@ -135,6 +212,8 @@ shardResultFromJson(const JsonValue &value)
     result.chunk_begin = static_cast<std::size_t>(
         value.at("chunk_begin").asInteger());
     result.chunks = value.at("chunks").asArray();
+    if (value.contains("metrics"))
+        result.metrics = value.at("metrics");
     return result;
 }
 

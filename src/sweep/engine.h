@@ -144,13 +144,38 @@ struct ShardResult
     std::size_t chunk_begin = 0;
     /** Payloads for chunks [chunk_begin, chunk_begin + size()). */
     std::vector<config::JsonValue> chunks;
+    /**
+     * Optional telemetry: an act.metrics.v1 document (obs/metrics_doc)
+     * riding along in the partial file, or null. Telemetry never
+     * touches the result path -- mergeShards() strips it, so the
+     * merged document stays byte-identical whether or not shards
+     * carried metrics.
+     */
+    config::JsonValue metrics;
+};
+
+/** Observability knobs for a shard run; defaults disable everything. */
+struct ShardRunOptions
+{
+    /** Heartbeat sidecar path (act.heartbeat.v1); empty disables. */
+    std::string heartbeat_path;
+    /** Minimum seconds between heartbeat writes. */
+    double heartbeat_interval_s = 1.0;
 };
 
 /**
  * Evaluate the slice of @p plan owned by @p shard (chunks still run in
  * parallel on the pool within the shard). Fatal when the plan has no
- * items or the shard spec is invalid.
+ * items or the shard spec is invalid. With a heartbeat path in
+ * @p options, progress is published per chunk through a time-gated
+ * obs::HeartbeatWriter -- purely observational, the payloads are
+ * bit-identical either way.
  */
+ShardResult runShardedSweep(const SweepPlan &plan,
+                            const ShardSpec &shard,
+                            const JsonChunkEvaluator &evaluator,
+                            const ShardRunOptions &options);
+
 ShardResult runShardedSweep(const SweepPlan &plan,
                             const ShardSpec &shard,
                             const JsonChunkEvaluator &evaluator);

@@ -130,12 +130,16 @@ Histogram::Histogram(std::vector<double> bucket_bounds)
 void
 Histogram::observe(double value)
 {
-    if (!metricsEnabled())
-        return;
-    const auto bucket =
-        std::lower_bound(bounds_.begin(), bounds_.end(), value);
-    buckets_[static_cast<std::size_t>(bucket - bounds_.begin())]
-        .fetch_add(1, std::memory_order_relaxed);
+    // count/sum/min/max are always live, like counters: means and
+    // ranges survive into snapshots and metrics documents even when
+    // bucket collection (and the clock reads feeding most histograms)
+    // is off. Only the bucket scan is gated.
+    if (metricsEnabled()) {
+        const auto bucket =
+            std::lower_bound(bounds_.begin(), bounds_.end(), value);
+        buckets_[static_cast<std::size_t>(bucket - bounds_.begin())]
+            .fetch_add(1, std::memory_order_relaxed);
+    }
     const std::uint64_t previous =
         count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);

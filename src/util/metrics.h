@@ -11,10 +11,13 @@
  *    slab slot, so there is no locked RMW and no line shared between
  *    writers). Model-level statistics (e.g. the CPA cache hit rate)
  *    therefore work even when metrics emission is off.
- *  - Histograms -- and any *measurement* feeding them (clock reads,
- *    per-chunk bookkeeping) -- are gated behind `metricsEnabled()`, a
- *    single relaxed atomic flag. With `ACT_METRICS` unset the cost of
- *    an instrumented code path is one relaxed load and a branch.
+ *  - Histogram summary statistics (count/sum/min/max) are always live
+ *    too, so snapshot means survive with metrics emission off. Bucket
+ *    collection -- and any *measurement* feeding an observe (clock
+ *    reads, per-chunk bookkeeping) -- is gated behind
+ *    `metricsEnabled()`, a single relaxed atomic flag. With
+ *    `ACT_METRICS` unset the cost of an instrumented code path is one
+ *    relaxed load and a branch.
  *  - Registration (`counter()`, `gauge()`, `histogram()`) takes a lock
  *    and is intended for cold paths; call sites cache the returned
  *    reference, which stays valid for the life of the process (the
@@ -135,8 +138,9 @@ class Gauge
 
 /**
  * A fixed-bucket histogram. Bucket upper bounds are set at registration
- * (ascending; one implicit overflow bucket is appended); `observe()` is
- * a no-op while `metricsEnabled()` is false.
+ * (ascending; one implicit overflow bucket is appended). `observe()`
+ * always records count/sum/min/max (like a counter); the bucket scan
+ * is skipped while `metricsEnabled()` is false.
  */
 class Histogram
 {

@@ -150,9 +150,18 @@ class TraceCollector
             return;
         }
         std::string body;
-        body.reserve(events_.size() * 96 + 64);
+        body.reserve(events_.size() * 96 + 192);
         body += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-        bool first = true;
+        // Wall-clock anchor for cross-process trace assembly: event
+        // timestamps are steady-clock offsets from the process trace
+        // epoch, and this metadata event records where that epoch sits
+        // on the wall clock (viewers ignore unknown "M" names).
+        body += "{\"name\":\"trace_epoch\",\"cat\":\"__metadata\","
+                "\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                "\"args\":{\"wall_epoch_us\":";
+        body += std::to_string(detail::traceWallEpochUs());
+        body += "}}";
+        bool first = false;
         for (const TraceEvent &event : events_) {
             if (!first)
                 body += ',';
@@ -206,15 +215,47 @@ struct TraceEnvInit
 
 namespace detail {
 
+namespace {
+
+/** The steady-clock trace epoch and its wall-clock position, captured
+ *  together so the pair names one instant. */
+struct TraceEpoch
+{
+    std::chrono::steady_clock::time_point steady;
+    std::uint64_t wall_us;
+
+    TraceEpoch()
+        : steady(std::chrono::steady_clock::now()),
+          wall_us(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::system_clock::now()
+                      .time_since_epoch())
+                  .count()))
+    {}
+};
+
+const TraceEpoch &
+traceEpoch()
+{
+    static const TraceEpoch epoch;
+    return epoch;
+}
+
+} // namespace
+
 std::uint64_t
 traceNowNs()
 {
-    using clock = std::chrono::steady_clock;
-    static const clock::time_point epoch = clock::now();
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            clock::now() - epoch)
+            std::chrono::steady_clock::now() - traceEpoch().steady)
             .count());
+}
+
+std::uint64_t
+traceWallEpochUs()
+{
+    return traceEpoch().wall_us;
 }
 
 void

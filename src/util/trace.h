@@ -33,6 +33,15 @@ extern std::atomic<bool> g_trace_enabled;
 /** Nanoseconds on the steady clock since the process trace epoch. */
 std::uint64_t traceNowNs();
 
+/**
+ * Wall-clock time of the process trace epoch (the instant event
+ * timestamps count from), in microseconds since the Unix epoch. The
+ * writer stamps it into every trace file as a `trace_epoch` metadata
+ * event so `act trace-merge` can align traces from different
+ * processes onto one timeline.
+ */
+std::uint64_t traceWallEpochUs();
+
 void traceComplete(const char *category, std::string name,
                    std::uint64_t start_ns, std::uint64_t end_ns);
 

@@ -7,6 +7,7 @@
  */
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -169,6 +170,42 @@ TEST_F(SweepEngineTest, ShardedMergeIsByteIdenticalToSingleProcess)
                 << " threads";
         }
     }
+}
+
+TEST_F(SweepEngineTest, MetricsAndHeartbeatsNeverChangeTheResult)
+{
+    const SweepPlan plan = monteCarloPlan();
+    const Domain &domain = findDomain(plan.domain);
+    const std::string reference =
+        fullSweepResult(plan, domain.evaluator(plan)).dump();
+
+    const config::JsonValue metrics = config::JsonValue::parse(R"({
+        "format": "act.metrics.v1",
+        "counters": {"sweep.items": 5000},
+        "gauges": {},
+        "histograms": {}
+    })");
+
+    ShardRunOptions options;
+    options.heartbeat_path =
+        "sweep_engine_test_hb.heartbeat.json";
+    options.heartbeat_interval_s = 0.0;
+
+    std::vector<ShardResult> partials;
+    for (std::size_t i = 0; i < 2; ++i) {
+        ShardResult partial = runShardedSweep(
+            plan, {2, i}, domain.evaluator(plan), options);
+        partial.metrics = metrics;
+        // Round-trip through the file format: the metrics section
+        // must survive the partial...
+        ShardResult restored =
+            shardResultFromJson(toJson(partial));
+        EXPECT_EQ(restored.metrics.dump(), metrics.dump());
+        partials.push_back(std::move(restored));
+    }
+    // ...and the merged result document must not contain it.
+    EXPECT_EQ(mergeShards(partials).dump(), reference);
+    std::remove(options.heartbeat_path.c_str());
 }
 
 TEST_F(SweepEngineTest, MergedResultMatchesInProcessMonteCarlo)

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the act.metrics.v1 document (obs/metrics_doc): snapshot
+ * serialization, the merge semantics (counters sum, histograms merge
+ * bucket-wise, gauges concatenate), schema rejection, and the
+ * Prometheus rendering. The MetricsFileValidation test doubles as the
+ * CI validator: set `ACT_METRICS_VALIDATE=<file>` to check an
+ * externally produced (e.g. `act merge --metrics-out`) document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "obs/metrics_doc.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace act;
+
+config::JsonValue
+parseDoc(const std::string &text)
+{
+    return config::JsonValue::parse(text);
+}
+
+/** A synthetic one-process snapshot document. */
+config::JsonValue
+snapshotDoc(double items, double gauge, double low_bucket,
+            double high_bucket)
+{
+    config::JsonObject counters;
+    counters["sweep.items"] = config::JsonValue(items);
+
+    config::JsonObject gauges;
+    config::JsonObject gauge_obj;
+    gauge_obj["values"] =
+        config::JsonValue(config::JsonArray{config::JsonValue(gauge)});
+    gauge_obj["min"] = config::JsonValue(gauge);
+    gauge_obj["max"] = config::JsonValue(gauge);
+    gauge_obj["mean"] = config::JsonValue(gauge);
+    gauges["pool.util"] = config::JsonValue(std::move(gauge_obj));
+
+    config::JsonObject histogram;
+    histogram["bounds"] = config::JsonValue(config::JsonArray{
+        config::JsonValue(10.0), config::JsonValue(100.0)});
+    histogram["counts"] = config::JsonValue(config::JsonArray{
+        config::JsonValue(low_bucket), config::JsonValue(high_bucket),
+        config::JsonValue(0.0)});
+    histogram["count"] =
+        config::JsonValue(low_bucket + high_bucket);
+    histogram["sum"] =
+        config::JsonValue(5.0 * low_bucket + 50.0 * high_bucket);
+    histogram["min"] = config::JsonValue(low_bucket > 0.0 ? 5.0 : 50.0);
+    histogram["max"] =
+        config::JsonValue(high_bucket > 0.0 ? 50.0 : 5.0);
+    config::JsonObject histograms;
+    histograms["chunk_us"] = config::JsonValue(std::move(histogram));
+
+    config::JsonObject doc;
+    doc["format"] = config::JsonValue(obs::kMetricsFormat);
+    doc["counters"] = config::JsonValue(std::move(counters));
+    doc["gauges"] = config::JsonValue(std::move(gauges));
+    doc["histograms"] = config::JsonValue(std::move(histograms));
+    return config::JsonValue(std::move(doc));
+}
+
+TEST(MetricsDocTest, SnapshotSerializesAndValidates)
+{
+    util::setMetricsEnabled(true);
+    auto &registry = util::MetricsRegistry::instance();
+    registry.counter("merge_test.count").add(7);
+    registry.gauge("merge_test.gauge").set(0.25);
+    auto &histogram =
+        registry.histogram("merge_test.hist", {1.0, 10.0});
+    histogram.observe(0.5);
+    histogram.observe(5.0);
+    histogram.observe(50.0);
+    util::setMetricsEnabled(false);
+
+    const config::JsonValue doc =
+        obs::metricsToJson(registry.snapshot());
+    obs::validateMetricsDoc(doc);
+    EXPECT_EQ(doc.stringOr("format", ""), obs::kMetricsFormat);
+    EXPECT_EQ(doc.at("counters").at("merge_test.count").asNumber(),
+              7.0);
+
+    const config::JsonValue &hist =
+        doc.at("histograms").at("merge_test.hist");
+    // Two finite bounds serialize; the +inf overflow bucket is the
+    // extra counts entry, never an (unserializable) infinite bound.
+    EXPECT_EQ(hist.at("bounds").asArray().size(), 2u);
+    EXPECT_EQ(hist.at("counts").asArray().size(), 3u);
+    EXPECT_EQ(hist.at("count").asNumber(), 3.0);
+    EXPECT_EQ(hist.at("min").asNumber(), 0.5);
+    EXPECT_EQ(hist.at("max").asNumber(), 50.0);
+
+    // Serialization must be deterministic for byte-compare workflows.
+    EXPECT_EQ(doc.dump(),
+              obs::metricsToJson(registry.snapshot()).dump());
+}
+
+TEST(MetricsDocTest, MergeOfShardsEqualsOneProcessTotals)
+{
+    // Three "shards" whose work sums to one known single-process run.
+    const std::vector<config::JsonValue> shards = {
+        snapshotDoc(4000, 0.5, 3, 1),
+        snapshotDoc(4000, 0.7, 2, 0),
+        snapshotDoc(2000, 0.6, 0, 4),
+    };
+    const config::JsonValue merged = obs::mergeMetricsDocs(shards);
+    obs::validateMetricsDoc(merged);
+
+    // Counters sum exactly (doubles are exact for integral counts).
+    EXPECT_EQ(merged.at("counters").at("sweep.items").asNumber(),
+              10000.0);
+
+    // Histograms merge bucket-wise and re-derive the statistics.
+    const config::JsonValue &hist =
+        merged.at("histograms").at("chunk_us");
+    EXPECT_EQ(hist.at("counts").asArray()[0].asNumber(), 5.0);
+    EXPECT_EQ(hist.at("counts").asArray()[1].asNumber(), 5.0);
+    EXPECT_EQ(hist.at("count").asNumber(), 10.0);
+    EXPECT_EQ(hist.at("sum").asNumber(), 5.0 * 5.0 + 50.0 * 5.0);
+    EXPECT_EQ(hist.at("min").asNumber(), 5.0);
+    EXPECT_EQ(hist.at("max").asNumber(), 50.0);
+
+    // Gauges keep every per-shard value plus min/max/mean.
+    const config::JsonValue &gauge =
+        merged.at("gauges").at("pool.util");
+    EXPECT_EQ(gauge.at("values").asArray().size(), 3u);
+    EXPECT_EQ(gauge.at("min").asNumber(), 0.5);
+    EXPECT_EQ(gauge.at("max").asNumber(), 0.7);
+    EXPECT_NEAR(gauge.at("mean").asNumber(), 0.6, 1e-12);
+}
+
+TEST(MetricsDocTest, MergingOneDocumentIsTheIdentity)
+{
+    const config::JsonValue doc = snapshotDoc(123, 0.5, 2, 1);
+    EXPECT_EQ(obs::mergeMetricsDocs({doc}).dump(), doc.dump());
+}
+
+TEST(MetricsDocTest, MergeToleratesEmptyAndAbsentSections)
+{
+    // No documents at all: an empty but valid document.
+    const config::JsonValue empty = obs::mergeMetricsDocs({});
+    obs::validateMetricsDoc(empty);
+    EXPECT_TRUE(empty.at("counters").asObject().empty());
+
+    // A format-only document (absent sections) merges cleanly with a
+    // full one.
+    const config::JsonValue minimal =
+        parseDoc(R"({"format": "act.metrics.v1"})");
+    const config::JsonValue merged =
+        obs::mergeMetricsDocs({minimal, snapshotDoc(10, 0.5, 1, 0)});
+    EXPECT_EQ(merged.at("counters").at("sweep.items").asNumber(),
+              10.0);
+}
+
+TEST(MetricsDocDeathTest, RejectsIncompatibleHistogramBounds)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    config::JsonValue other = snapshotDoc(10, 0.5, 1, 0);
+    other.asObject()["histograms"]
+        .asObject()["chunk_us"]
+        .asObject()["bounds"] = config::JsonValue(config::JsonArray{
+        config::JsonValue(10.0), config::JsonValue(999.0)});
+    EXPECT_EXIT(
+        obs::mergeMetricsDocs({snapshotDoc(10, 0.5, 1, 0), other}),
+        ::testing::ExitedWithCode(1), "incompatible bucket bounds");
+}
+
+TEST(MetricsDocDeathTest, RejectsWrongFormatAndBadShapes)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(obs::validateMetricsDoc(parseDoc("{}")),
+                ::testing::ExitedWithCode(1), "not a metrics document");
+    EXPECT_EXIT(obs::validateMetricsDoc(parseDoc(
+                    R"({"format": "act.metrics.v1",
+                        "counters": {"x": -1}})")),
+                ::testing::ExitedWithCode(1), "non-negative");
+    // counts must be bounds + 1 (the overflow bucket).
+    EXPECT_EXIT(obs::validateMetricsDoc(parseDoc(
+                    R"({"format": "act.metrics.v1", "histograms":
+                        {"h": {"bounds": [1, 2], "counts": [0, 0],
+                               "count": 0, "sum": 0, "min": 0,
+                               "max": 0}}})")),
+                ::testing::ExitedWithCode(1), "bucket counts");
+}
+
+TEST(MetricsDocTest, PrometheusRenderingIsWellFormed)
+{
+    const config::JsonValue merged = obs::mergeMetricsDocs(
+        {snapshotDoc(4000, 0.5, 3, 1), snapshotDoc(6000, 0.7, 2, 0)});
+    const std::string prom = obs::renderPrometheus(merged);
+
+    EXPECT_NE(prom.find("# TYPE act_sweep_items counter\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("act_sweep_items 10000\n"), std::string::npos);
+    // Multi-shard gauges carry a shard label.
+    EXPECT_NE(prom.find("act_pool_util{shard=\"0\"} 0.5\n"),
+              std::string::npos);
+    // Histogram buckets are cumulative and end at +Inf == _count.
+    EXPECT_NE(prom.find("act_chunk_us_bucket{le=\"10\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("act_chunk_us_bucket{le=\"+Inf\"} 6\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("act_chunk_us_count 6\n"), std::string::npos);
+}
+
+TEST(MetricsDocTest, TableRenderingShowsMeans)
+{
+    const std::string table =
+        obs::renderMetricsDocTable(snapshotDoc(100, 0.5, 3, 1));
+    EXPECT_NE(table.find("sweep.items"), std::string::npos);
+    EXPECT_NE(table.find("histogram"), std::string::npos);
+    // mean = (5*3 + 50*1) / 4 = 16.25
+    EXPECT_NE(table.find("16.25"), std::string::npos);
+}
+
+/**
+ * CI hook: when ACT_METRICS_VALIDATE names a metrics document produced
+ * by a real run (e.g. `act merge --metrics-out`), validate its schema
+ * and require the sweep counters the engine always maintains.
+ */
+TEST(MetricsFileValidation, ExternalFile)
+{
+    const char *path = std::getenv("ACT_METRICS_VALIDATE");
+    if (path == nullptr || *path == '\0')
+        GTEST_SKIP() << "ACT_METRICS_VALIDATE not set";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const config::JsonValue doc =
+        config::JsonValue::parse(buffer.str());
+    obs::validateMetricsDoc(doc);
+    EXPECT_GT(doc.at("counters").at("sweep.items").asNumber(), 0.0)
+        << "expected the engine's sweep.items counter";
+    EXPECT_GT(doc.at("counters").at("sweep.chunks").asNumber(), 0.0)
+        << "expected the engine's sweep.chunks counter";
+}
+
+} // namespace

@@ -92,7 +92,7 @@ TEST(MetricsGaugeTest, SetAndRead)
     EXPECT_DOUBLE_EQ(gauge.value(), -3.0);
 }
 
-TEST(MetricsHistogramTest, DisabledModeIsNoOp)
+TEST(MetricsHistogramTest, DisabledModeKeepsStatsButSkipsBuckets)
 {
     ScopedMetricsEnabled disabled(false);
     util::Histogram &histogram =
@@ -101,8 +101,15 @@ TEST(MetricsHistogramTest, DisabledModeIsNoOp)
     histogram.reset();
     histogram.observe(5.0);
     histogram.observe(50.0);
-    EXPECT_EQ(histogram.count(), 0u);
-    EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+    // Summary statistics are always live (like counters) so snapshot
+    // means work with metrics emission off...
+    EXPECT_EQ(histogram.count(), 2u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 55.0);
+    EXPECT_DOUBLE_EQ(histogram.min(), 5.0);
+    EXPECT_DOUBLE_EQ(histogram.max(), 50.0);
+    // ...but the bucket scan stays gated.
+    for (const std::uint64_t count : histogram.bucketCounts())
+        EXPECT_EQ(count, 0u);
 }
 
 TEST(MetricsHistogramTest, BucketPlacementAndStats)

@@ -50,7 +50,14 @@ struct TraceSummary
 {
     std::size_t events = 0;
     std::set<std::string> categories;
-    std::map<std::int64_t, std::vector<ParsedSpan>> spans_by_tid;
+    std::set<std::string> metadata_names;
+    std::set<std::int64_t> pids;
+    /** wall_epoch_us values from trace_epoch metadata events. */
+    std::vector<double> epochs;
+    /** Keyed by (pid, tid): merged traces reuse tids across pids. */
+    std::map<std::pair<std::int64_t, std::int64_t>,
+             std::vector<ParsedSpan>>
+        spans_by_tid;
 };
 
 /**
@@ -74,11 +81,24 @@ validateTrace(const config::JsonValue &root)
         EXPECT_TRUE(event.at("ts").isNumber());
         EXPECT_GE(event.at("ts").asNumber(), 0.0);
         EXPECT_TRUE(event.at("pid").isNumber());
+        summary.pids.insert(event.at("pid").asInteger());
         const std::int64_t tid = event.at("tid").asInteger();
-        EXPECT_GE(tid, 1);
         const std::string &phase = event.at("ph").asString();
-        EXPECT_TRUE(phase == "X" || phase == "i")
+        EXPECT_TRUE(phase == "X" || phase == "i" || phase == "M")
             << "unexpected phase '" << phase << "'";
+        if (phase == "M") {
+            // Metadata events (trace_epoch, process_name) ride on
+            // tid 0 at ts 0 and never form spans.
+            EXPECT_GE(tid, 0);
+            const std::string &name = event.at("name").asString();
+            summary.metadata_names.insert(name);
+            if (name == "trace_epoch") {
+                summary.epochs.push_back(
+                    event.at("args").at("wall_epoch_us").asNumber());
+            }
+            continue;
+        }
+        EXPECT_GE(tid, 1);
         summary.categories.insert(event.at("cat").asString());
         if (phase == "X") {
             EXPECT_TRUE(event.at("dur").isNumber());
@@ -88,14 +108,16 @@ validateTrace(const config::JsonValue &root)
             span.category = event.at("cat").asString();
             span.start_us = event.at("ts").asNumber();
             span.end_us = span.start_us + event.at("dur").asNumber();
-            summary.spans_by_tid[tid].push_back(std::move(span));
+            summary
+                .spans_by_tid[{event.at("pid").asInteger(), tid}]
+                .push_back(std::move(span));
         }
     }
 
     // Nesting check per thread: sweep spans by start time (ties:
     // longer first, i.e. outermost first) and keep a stack of open
     // spans; every span must be fully contained in the enclosing one.
-    for (auto &[tid, spans] : summary.spans_by_tid) {
+    for (auto &[key, spans] : summary.spans_by_tid) {
         std::stable_sort(spans.begin(), spans.end(),
                          [](const ParsedSpan &a, const ParsedSpan &b) {
                              if (a.start_us != b.start_us)
@@ -110,7 +132,8 @@ validateTrace(const config::JsonValue &root)
             }
             if (!open.empty()) {
                 EXPECT_LE(span.end_us, open.back()->end_us)
-                    << "span '" << span.name << "' on tid " << tid
+                    << "span '" << span.name << "' on pid "
+                    << key.first << " tid " << key.second
                     << " partially overlaps '" << open.back()->name
                     << "'";
             }
@@ -171,6 +194,11 @@ TEST(TraceTest, SpansProduceValidParseableJson)
     EXPECT_TRUE(summary.categories.count("test.marker"));
     // util/parallel contributes its own spans around the parallelFor.
     EXPECT_TRUE(summary.categories.count("util.parallel"));
+
+    // Every trace file carries its wall-clock epoch so `act
+    // trace-merge` can align files from different processes.
+    ASSERT_EQ(summary.epochs.size(), 1u);
+    EXPECT_GT(summary.epochs[0], 0.0);
 
     // The inner spans must be contained in the outer one on its tid.
     bool outer_found = false;
@@ -237,6 +265,28 @@ TEST(TraceFileValidation, ExternalFile)
         << "expected core::CpaCache miss spans";
     EXPECT_TRUE(summary.categories.count("bench"))
         << "expected a per-figure bench span";
+}
+
+/**
+ * CI hook: when ACT_TRACE_VALIDATE_MERGED names an `act trace-merge`
+ * output, validate it like any trace and require the merge artifacts:
+ * one trace_epoch, one pid and process_name per source file.
+ */
+TEST(TraceFileValidation, MergedFile)
+{
+    const char *path = std::getenv("ACT_TRACE_VALIDATE_MERGED");
+    if (path == nullptr || *path == '\0')
+        GTEST_SKIP() << "ACT_TRACE_VALIDATE_MERGED not set";
+    const config::JsonValue root =
+        config::JsonValue::parse(readFile(path));
+    const TraceSummary summary = validateTrace(root);
+    EXPECT_GT(summary.events, 0u);
+    EXPECT_EQ(summary.epochs.size(), 1u)
+        << "merged trace must carry exactly one trace_epoch";
+    EXPECT_GE(summary.pids.size(), 2u)
+        << "expected each source trace on its own pid";
+    EXPECT_TRUE(summary.metadata_names.count("process_name"))
+        << "expected process_name labels for the merged pids";
 }
 
 } // namespace

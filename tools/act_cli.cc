@@ -13,16 +13,24 @@
  *   act sweep --plan <plan.json> [--shards N --shard-index i]
  *             [--out <file>]     run a serialized sweep (or one shard)
  *   act merge <partial.json...> [--out <file>]   recombine shards
+ *   act status <dir>                       fleet view over heartbeats
+ *   act trace-merge <out> <traces...>      one Perfetto timeline
  *
  * Fab options: --fab-ci <g/kWh>  --yield <y>  --abatement <a>
  */
 
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/json.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics_doc.h"
+#include "obs/trace_merge.h"
 #include "core/embodied.h"
 #include "core/footprint.h"
 #include "core/lifecycle.h"
@@ -34,6 +42,7 @@
 #include "sweep/domains.h"
 #include "sweep/engine.h"
 #include "sweep/plan.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/strings.h"
@@ -65,8 +74,17 @@ printUsage()
         "  sweep --plan <plan.json> [--out <file>]\n"
         "        [--shards N --shard-index i]  run a serialized sweep;\n"
         "        with a shard spec, write one partial-result file\n"
+        "        (plus a .heartbeat.json sidecar; ACT_HEARTBEAT=0\n"
+        "        disables, ACT_HEARTBEAT_SECS sets the interval)\n"
         "  merge <partial.json...> [--out <file>]  recombine shard\n"
         "        partials into the single-process result document\n"
+        "        [--metrics-out <file>]  write the aggregated\n"
+        "        act.metrics.v1 document merged from the partials\n"
+        "        [--metrics-prom <file>]  same, Prometheus text format\n"
+        "  status <dir> [--stale-secs S] [--watch <secs>]  render a\n"
+        "        fleet table from the heartbeat sidecars in <dir>\n"
+        "  trace-merge <out> <trace.json...>  align per-process traces\n"
+        "        on the wall clock into one Perfetto-loadable file\n"
         "\n"
         "fab options (for cpa/logic/device/soc):\n"
         "  --fab-ci <g/kWh>   fab carbon intensity "
@@ -79,7 +97,12 @@ printUsage()
         "  --metrics          print the metrics-registry table after "
         "the command\n"
         "  --trace <file>     write a Chrome trace-event JSON profile "
-        "(Perfetto)\n";
+        "(Perfetto)\n"
+        "  --prom <file>      write this process's metrics snapshot "
+        "in the\n"
+        "                     Prometheus text format (implies "
+        "--metrics;\n"
+        "                     env: ACT_METRICS_PROM)\n";
 }
 
 /** Simple flag map over argv[from..). */
@@ -435,8 +458,22 @@ cmdSweep(const Args &args)
     shard.shard_index = countOr(args, "shard-index", 0);
     if (out.empty())
         util::fatal("a sharded sweep needs --out <partial.json>");
-    const sweep::ShardResult partial =
-        sweep::runShardedSweep(plan, shard, domain.evaluator(plan));
+
+    sweep::ShardRunOptions options;
+    if (util::envBool("ACT_HEARTBEAT", true))
+        options.heartbeat_path = obs::heartbeatPathFor(out);
+    options.heartbeat_interval_s = static_cast<double>(
+        util::envInt("ACT_HEARTBEAT_SECS", 1, 0, 3600));
+
+    sweep::ShardResult partial =
+        sweep::runShardedSweep(plan, shard, domain.evaluator(plan),
+                               options);
+    // Telemetry rides along in the partial (and only there): the
+    // merged result document is byte-identical either way.
+    if (util::metricsEnabled()) {
+        partial.metrics = obs::metricsToJson(
+            util::MetricsRegistry::instance().snapshot());
+    }
     config::saveJsonFile(out, sweep::toJson(partial));
     std::cout << "shard " << shard.shard_index << "/"
               << shard.shard_count << " of '" << plan.domain
@@ -460,9 +497,83 @@ cmdMerge(const Args &args)
     const std::string out = args.stringOr("out", "");
     if (!out.empty())
         config::saveJsonFile(out, merged);
+
+    // Aggregate whatever telemetry the partials carried (absent
+    // sections are fine -- shards may mix metrics on and off).
+    std::vector<config::JsonValue> metric_docs;
+    for (const sweep::ShardResult &partial : partials) {
+        if (!partial.metrics.isNull())
+            metric_docs.push_back(
+                obs::validateMetricsDoc(partial.metrics));
+    }
+    const std::string metrics_out = args.stringOr("metrics-out", "");
+    const std::string metrics_prom = args.stringOr("metrics-prom", "");
+    if (!metric_docs.empty() || !metrics_out.empty() ||
+        !metrics_prom.empty()) {
+        const config::JsonValue aggregated =
+            obs::mergeMetricsDocs(metric_docs);
+        if (!metrics_out.empty())
+            config::saveJsonFile(metrics_out, aggregated);
+        if (!metrics_prom.empty()) {
+            std::ofstream prom(metrics_prom, std::ios::trunc);
+            if (!prom)
+                util::fatal("cannot write '", metrics_prom, "'");
+            prom << obs::renderPrometheus(aggregated);
+        }
+        if (!metric_docs.empty()) {
+            std::cout << "--- merged metrics (" << metric_docs.size()
+                      << " of " << partials.size() << " shards) ---\n"
+                      << obs::renderMetricsDocTable(aggregated);
+        }
+    }
+
     const sweep::SweepPlan &plan = partials.front().plan;
     std::cout << sweep::findDomain(plan.domain)
                      .summarize(plan, merged.at("results").asArray())
+              << "\n";
+    return 0;
+}
+
+int
+cmdStatus(const Args &args)
+{
+    const std::string directory = args.positional().empty()
+                                      ? std::string(".")
+                                      : args.positional()[0];
+    const double stale_secs = args.numberOr("stale-secs", 15.0);
+    const double watch_secs = args.numberOr("watch", 0.0);
+
+    for (;;) {
+        const auto heartbeats = obs::loadHeartbeatDirectory(directory);
+        if (heartbeats.empty()) {
+            std::cout << "no " << obs::kHeartbeatSuffix << " files in '"
+                      << directory << "'\n";
+        } else {
+            std::cout << obs::renderFleetTable(
+                heartbeats, obs::wallClockSeconds(), stale_secs);
+        }
+        if (watch_secs <= 0.0)
+            break;
+        std::cout.flush();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(watch_secs));
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+cmdTraceMerge(const Args &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("trace-merge needs <out> and at least one trace "
+                    "file");
+    const std::string out = args.positional()[0];
+    const std::vector<std::string> inputs(
+        args.positional().begin() + 1, args.positional().end());
+    obs::mergeTraceFiles(out, inputs);
+    std::cout << "merged " << inputs.size() << " trace"
+              << (inputs.size() == 1 ? "" : "s") << " -> " << out
               << "\n";
     return 0;
 }
@@ -496,6 +607,10 @@ runCommand(const std::string &command, const Args &args)
         return cmdSweep(args);
     if (command == "merge")
         return cmdMerge(args);
+    if (command == "status")
+        return cmdStatus(args);
+    if (command == "trace-merge")
+        return cmdTraceMerge(args);
 
     act::util::fatal("unknown command '", command,
                      "' (try 'act --help')");
@@ -508,7 +623,9 @@ main(int argc, char **argv)
 {
     // Peel the observability flags off before command parsing so they
     // work uniformly with every command (and mirror ACT_METRICS /
-    // ACT_TRACE).
+    // ACT_TRACE / ACT_METRICS_PROM).
+    std::string prom_path =
+        act::util::envString("ACT_METRICS_PROM", "");
     std::vector<char *> arguments;
     arguments.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
@@ -522,8 +639,16 @@ main(int argc, char **argv)
             act::util::setTraceFile(argv[++i]);
             continue;
         }
+        if (std::strcmp(argv[i], "--prom") == 0) {
+            if (i + 1 >= argc)
+                act::util::fatal("--prom needs a file path");
+            prom_path = argv[++i];
+            continue;
+        }
         arguments.push_back(argv[i]);
     }
+    if (!prom_path.empty())
+        act::util::setMetricsEnabled(true);
     argc = static_cast<int>(arguments.size());
     argv = arguments.data();
 
@@ -537,6 +662,16 @@ main(int argc, char **argv)
     const Args args(argc, argv, 2);
     const int status = runCommand(command, args);
 
+    if (!prom_path.empty()) {
+        std::ofstream prom(prom_path, std::ios::trunc);
+        if (!prom) {
+            act::util::warn("cannot write Prometheus snapshot to '",
+                            prom_path, "'");
+        } else {
+            prom << act::obs::renderPrometheus(act::obs::metricsToJson(
+                act::util::MetricsRegistry::instance().snapshot()));
+        }
+    }
     if (act::util::metricsEnabled()) {
         std::cout << "\n--- metrics ---\n"
                   << act::util::MetricsRegistry::instance()

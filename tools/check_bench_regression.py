@@ -28,13 +28,16 @@ DEFAULT_CALIBRATE = "BM_CpaUncached"
 DEFAULT_CHECKS = ["BM_CpaCached", "BM_MonteCarloBatch"]
 
 
-def load_times(path):
-    """Map benchmark name -> CPU ns/iteration from a results file."""
+def load_document(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
+            return json.load(handle)
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: cannot read {path}: {error}")
+
+
+def load_times(document, path):
+    """Map benchmark name -> CPU ns/iteration from a results document."""
     times = {}
     for entry in document.get("benchmarks", []):
         name = entry.get("name")
@@ -44,6 +47,29 @@ def load_times(path):
     if not times:
         raise SystemExit(f"error: no benchmark entries in {path}")
     return times
+
+
+PROVENANCE_KEYS = ("git_sha", "simd_level", "act_threads", "hostname")
+
+
+def warn_provenance_mismatch(baseline_doc, results_doc):
+    """Warn (never fail) when the two runs' provenance stamps differ.
+
+    The calibration benchmark absorbs uniform machine-speed deltas but
+    not, e.g., a different SIMD dispatch level or thread setting -- a
+    mismatch means the comparison is weaker than it looks.
+    """
+    baseline = baseline_doc.get("provenance")
+    results = results_doc.get("provenance")
+    if not isinstance(baseline, dict) or not isinstance(results, dict):
+        return
+    for key in PROVENANCE_KEYS:
+        old, new = baseline.get(key), results.get(key)
+        if old is not None and new is not None and old != new:
+            print(f"warning: provenance mismatch on '{key}': baseline "
+                  f"ran with {old!r}, results with {new!r} -- "
+                  "calibrated comparison may be unreliable",
+                  file=sys.stderr)
 
 
 def require(times, name, path):
@@ -57,21 +83,19 @@ def require(times, name, path):
 
 def update_baseline(baseline_path, results_path):
     """Rewrite the baseline file from a fresh results file."""
-    try:
-        with open(results_path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-    except (OSError, ValueError) as error:
-        raise SystemExit(f"error: cannot read {results_path}: {error}")
+    document = load_document(results_path)
     entries = [entry for entry in document.get("benchmarks", [])
                if isinstance(entry.get("name"), str)]
     if not entries:
         raise SystemExit(
             f"error: no benchmark entries in {results_path}")
     entries.sort(key=lambda entry: entry["name"])
+    baseline = {"benchmarks": entries}
+    if isinstance(document.get("provenance"), dict):
+        baseline["provenance"] = document["provenance"]
     try:
         with open(baseline_path, "w", encoding="utf-8") as handle:
-            json.dump({"benchmarks": entries}, handle, indent=2,
-                      sort_keys=True)
+            json.dump(baseline, handle, indent=2, sort_keys=True)
             handle.write("\n")
     except OSError as error:
         raise SystemExit(
@@ -108,8 +132,11 @@ def main():
     if args.update_baseline:
         return update_baseline(args.baseline, args.results)
 
-    baseline = load_times(args.baseline)
-    results = load_times(args.results)
+    baseline_doc = load_document(args.baseline)
+    results_doc = load_document(args.results)
+    warn_provenance_mismatch(baseline_doc, results_doc)
+    baseline = load_times(baseline_doc, args.baseline)
+    results = load_times(results_doc, args.results)
 
     scale = (require(results, args.calibrate, args.results) /
              require(baseline, args.calibrate, args.baseline))
