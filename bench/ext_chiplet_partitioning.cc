@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "core/chiplet.h"
+#include "pkg/chiplet.h"
 #include "report/experiment.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -24,7 +24,7 @@ main(int argc, char **argv)
         "monolithic vs chiplet embodied carbon at 7 nm");
 
     const core::FabParams fab;
-    core::ChipletParams params;
+    pkg::ChipletParams params;
     params.defects.defect_density_per_cm2 = 0.15;
 
     experiment.section("embodied carbon vs partitioning (kg CO2)");
@@ -32,9 +32,9 @@ main(int argc, char **argv)
                        "optimal N"});
     util::CsvWriter csv({"die_mm2", "n", "total_g", "yield"});
     for (double mm2 : {100.0, 200.0, 400.0, 600.0, 800.0}) {
-        const auto sweep = core::chipletSweep(
+        const auto sweep = pkg::chipletSweep(
             util::squareMillimeters(mm2), 7.0, fab, params);
-        const std::size_t best = core::optimalChipletCount(sweep);
+        const std::size_t best = pkg::optimalChipletCount(sweep);
         table.addRow(util::formatFixed(mm2, 0),
                      {util::asKilograms(sweep[0].total()),
                       util::asKilograms(sweep[1].total()),
@@ -55,11 +55,11 @@ main(int argc, char **argv)
     util::Table density({"D0 (/cm2)", "optimal N", "saving vs "
                                                    "monolithic"});
     for (double d0 : {0.05, 0.10, 0.15, 0.25, 0.40}) {
-        core::ChipletParams p = params;
+        pkg::ChipletParams p = params;
         p.defects.defect_density_per_cm2 = d0;
-        const auto sweep = core::chipletSweep(
+        const auto sweep = pkg::chipletSweep(
             util::squareMillimeters(600.0), 7.0, fab, p);
-        const std::size_t best = core::optimalChipletCount(sweep);
+        const std::size_t best = pkg::optimalChipletCount(sweep);
         density.addRow(util::formatSig(d0, 2),
                        {static_cast<double>(sweep[best].num_chiplets),
                         util::asGrams(sweep[0].total()) /
@@ -67,21 +67,21 @@ main(int argc, char **argv)
     }
     std::cout << density.render();
 
-    const auto big = core::chipletSweep(util::squareMillimeters(800.0),
+    const auto big = pkg::chipletSweep(util::squareMillimeters(800.0),
                                         7.0, fab, params);
-    const auto small = core::chipletSweep(
+    const auto small = pkg::chipletSweep(
         util::squareMillimeters(100.0), 7.0, fab, params);
     experiment.claim(
         "small dies stay monolithic", "N = 1",
         "N = " + std::to_string(
-                     small[core::optimalChipletCount(small)]
+                     small[pkg::optimalChipletCount(small)]
                          .num_chiplets));
     experiment.claim(
         "800 mm2 die benefits from chiplets", "> 1.5x saving",
         util::formatSig(
             util::asGrams(big[0].total()) /
                 util::asGrams(
-                    big[core::optimalChipletCount(big)].total()),
+                    big[pkg::optimalChipletCount(big)].total()),
             3) + "x");
     experiment.note("yield recovered from smaller dies must outweigh "
                     "interface beachfront, interposer silicon, and "

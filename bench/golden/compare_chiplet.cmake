@@ -1,0 +1,41 @@
+# Runs ext_chiplet_partitioning (table and --csv) and byte-compares
+# against the checked-in pre-pkg-refactor golden output. Guards the
+# acceptance criterion that the legacy ChipletParams wrapper over the
+# pkg::PackageSpec model reproduces the original numbers exactly.
+foreach(var BENCH_BIN GOLDEN_DIR WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH_BIN}
+    OUTPUT_FILE ${WORK_DIR}/ext_chiplet_partitioning.out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ext_chiplet_partitioning exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/ext_chiplet_partitioning.out
+        ${GOLDEN_DIR}/ext_chiplet_partitioning.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "table output differs from golden")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_BIN} --csv
+    OUTPUT_FILE ${WORK_DIR}/ext_chiplet_partitioning_csv.out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ext_chiplet_partitioning --csv exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/ext_chiplet_partitioning_csv.out
+        ${GOLDEN_DIR}/ext_chiplet_partitioning_csv.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "csv output differs from golden")
+endif()

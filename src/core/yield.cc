@@ -34,7 +34,12 @@ dieYield(util::Area die_area, const DefectParams &defects)
       case YieldModel::Poisson:
         return std::exp(-lambda);
       case YieldModel::Murphy: {
-        const double term = (1.0 - std::exp(-lambda)) / lambda;
+        // (1 - exp(-x))/x cancels catastrophically as x -> 0 (the
+        // numerator loses all significant bits around x ~ 2^-53 and
+        // the quotient collapses to 0 instead of 1). expm1 computes
+        // the series 1 - x/2 + x^2/6 - ... to full precision at
+        // small x, so Y -> 1 smoothly as A*D0 -> 0.
+        const double term = -std::expm1(-lambda) / lambda;
         return term * term;
       }
       case YieldModel::NegativeBinomial: {

@@ -8,6 +8,8 @@
  *
  *   Poisson:           Y = exp(-A * D0)
  *   Murphy:            Y = ((1 - exp(-A * D0)) / (A * D0))^2
+ *                      (computed via expm1 so the small-A*D0 limit
+ *                      approaches 1 instead of cancelling to garbage)
  *   Negative binomial: Y = (1 + A * D0 / alpha)^(-alpha)
  *
  * with A the die area, D0 the defect density (defects/cm2), and alpha

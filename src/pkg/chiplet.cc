@@ -1,0 +1,118 @@
+#include "pkg/chiplet.h"
+
+#include "util/logging.h"
+
+namespace act::pkg {
+
+namespace {
+
+void
+validateChipletParams(const ChipletParams &params)
+{
+    if (params.interface_overhead < 0.0) {
+        util::fatal("chiplet interface overhead must be >= 0, got ",
+                    params.interface_overhead);
+    }
+    if (params.interposer_area_factor < 0.0) {
+        util::fatal("interposer area factor must be >= 0, got ",
+                    params.interposer_area_factor);
+    }
+    if (params.interposer_node_nm <= 0.0) {
+        util::fatal("interposer node must be positive, got ",
+                    params.interposer_node_nm, " nm");
+    }
+    if (params.assembly_overhead_fraction < 0.0) {
+        util::fatal("assembly overhead fraction must be >= 0, got ",
+                    params.assembly_overhead_fraction);
+    }
+}
+
+} // namespace
+
+PackageSpec
+chipletPackageSpec(util::Area logic_area, int num_chiplets, double nm,
+                   const ChipletParams &params)
+{
+    if (num_chiplets < 1)
+        util::fatal("chiplet count must be >= 1, got ", num_chiplets);
+    if (util::asSquareCentimeters(logic_area) <= 0.0)
+        util::fatal("logic area must be positive");
+    validateChipletParams(params);
+
+    const double n = static_cast<double>(num_chiplets);
+    const double interface_scale =
+        1.0 + params.interface_overhead * (n - 1.0) / n;
+
+    // N = 1 is a plain monolithic package; N > 1 maps onto the
+    // organic-substrate style with unit bond yield -- the historical
+    // model charged no assembly losses, only substrate silicon.
+    PackageSpec spec;
+    spec.style = num_chiplets == 1 ? PackagingStyle::Monolithic
+                                   : PackagingStyle::OrganicSubstrate;
+    ChipletSpec die;
+    die.name = "chiplet";
+    die.area = logic_area * (interface_scale / n);
+    die.node_nm = nm;
+    die.defects = params.defects;
+    die.count = num_chiplets;
+    spec.chiplets.push_back(die);
+    spec.substrate_area_factor =
+        num_chiplets > 1 ? params.interposer_area_factor : 0.0;
+    spec.substrate_node_nm = params.interposer_node_nm;
+    // The substrate is sized from the full scaled logic area, not the
+    // rounded per-chiplet areas.
+    spec.footprint_override = logic_area * interface_scale;
+    spec.bond_yield = 1.0;
+    spec.assembly_overhead_fraction = params.assembly_overhead_fraction;
+    return spec;
+}
+
+ChipletPoint
+evaluateChiplets(util::Area logic_area, int num_chiplets, double nm,
+                 const core::FabParams &fab,
+                 const ChipletParams &params)
+{
+    const PackageSpec spec =
+        chipletPackageSpec(logic_area, num_chiplets, nm, params);
+    const PackageResult result = evaluatePackage(spec, fab);
+
+    ChipletPoint point;
+    point.num_chiplets = num_chiplets;
+    point.chiplet_area = spec.chiplets[0].area;
+    point.chiplet_yield = result.min_die_yield;
+    point.effective_silicon = result.effective_silicon;
+    point.silicon_embodied = result.silicon_embodied;
+    point.interposer_embodied = result.substrate_embodied;
+    point.assembly_embodied = result.assembly_embodied;
+    return point;
+}
+
+std::vector<ChipletPoint>
+chipletSweep(util::Area logic_area, double nm,
+             const core::FabParams &fab, const ChipletParams &params,
+             int max_chiplets)
+{
+    if (max_chiplets < 1)
+        util::fatal("max chiplet count must be >= 1");
+    std::vector<ChipletPoint> sweep;
+    sweep.reserve(static_cast<std::size_t>(max_chiplets));
+    for (int n = 1; n <= max_chiplets; ++n)
+        sweep.push_back(
+            evaluateChiplets(logic_area, n, nm, fab, params));
+    return sweep;
+}
+
+std::size_t
+optimalChipletCount(const std::vector<ChipletPoint> &sweep)
+{
+    if (sweep.empty())
+        util::fatal("optimalChipletCount() on an empty sweep");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].total() < sweep[best].total())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace act::pkg

@@ -1,34 +1,37 @@
 /**
  * @file
- * Chiplet-vs-monolithic embodied-carbon analysis — the "chiplet
- * design" item the paper lists under the Reuse tenet (Fig. 1).
+ * Homogeneous chiplet-vs-monolithic analysis -- the original "chiplet
+ * design" study (Reuse tenet, Fig. 1), now a thin wrapper over the
+ * general packaging model in pkg/package.h.
  *
- * Splitting a large die into N chiplets improves per-die yield (the
- * defect models in yield.h are super-linear in area) at the cost of
+ * Splitting a large die into N equal chiplets improves per-die yield
+ * (the defect models are super-linear in area) at the cost of
  * die-to-die interface area, a packaging/interposer overhead, and one
- * package-assembly step per chiplet. The model makes that trade-off
- * explicit in carbon terms:
+ * package-assembly step per chiplet:
  *
  *   ECF(N) = N * [A_chiplet(N) / Y(A_chiplet(N))] * CPA
  *          + interposer(N) + assembly(N)
  *   A_chiplet(N) = A_logic / N * (1 + beachfront overhead)
+ *
+ * evaluateChiplets() maps one partitioning onto a PackageSpec -- one
+ * die group of count N, an organic substrate sized from the scaled
+ * logic area, unit bond yield -- and evaluates it through the
+ * packaging oracle, reproducing the pre-refactor model exactly.
  */
 
-#ifndef ACT_CORE_CHIPLET_H
-#define ACT_CORE_CHIPLET_H
+#ifndef ACT_PKG_CHIPLET_H
+#define ACT_PKG_CHIPLET_H
 
 #include <vector>
 
-#include "core/fab_params.h"
-#include "core/yield.h"
-#include "util/units.h"
+#include "pkg/package.h"
 
-namespace act::core {
+namespace act::pkg {
 
-/** Chiplet partitioning cost model. */
+/** Homogeneous chiplet partitioning cost model. */
 struct ChipletParams
 {
-    DefectParams defects{};
+    core::DefectParams defects{};
     /** Fractional die-area overhead per split for die-to-die PHYs and
      *  duplicated infrastructure ("beachfront"); applied per chiplet
      *  as (1 + overhead * (N - 1) / N) so N = 1 has none. */
@@ -63,22 +66,30 @@ struct ChipletPoint
     }
 };
 
+/** The PackageSpec one partitioning maps onto (N equal chiplets of
+ *  @p logic_area at @p nm under @p params). Fatal on invalid inputs. */
+PackageSpec chipletPackageSpec(util::Area logic_area, int num_chiplets,
+                               double nm, const ChipletParams &params);
+
 /**
  * Evaluate one partitioning of @p logic_area into @p num_chiplets
- * equal chiplets at process node @p nm. Fatal for num_chiplets < 1.
+ * equal chiplets at process node @p nm. Fatal for num_chiplets < 1,
+ * a non-positive area, negative overheads, or a non-positive
+ * interposer node.
  */
 ChipletPoint evaluateChiplets(util::Area logic_area, int num_chiplets,
-                              double nm, const FabParams &fab,
+                              double nm, const core::FabParams &fab,
                               const ChipletParams &params);
 
 /** Sweep 1..max_chiplets partitions. */
 std::vector<ChipletPoint>
-chipletSweep(util::Area logic_area, double nm, const FabParams &fab,
-             const ChipletParams &params, int max_chiplets = 8);
+chipletSweep(util::Area logic_area, double nm,
+             const core::FabParams &fab, const ChipletParams &params,
+             int max_chiplets = 8);
 
 /** Index of the carbon-minimal partitioning in a sweep. */
 std::size_t optimalChipletCount(const std::vector<ChipletPoint> &sweep);
 
-} // namespace act::core
+} // namespace act::pkg
 
-#endif // ACT_CORE_CHIPLET_H
+#endif // ACT_PKG_CHIPLET_H

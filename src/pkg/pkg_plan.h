@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Compiled package evaluation: resolve a PackageSpec *once* -- every
+ * die group's defect yield, every node's Table 7/8 lookup, the
+ * substrate silicon, the assembly constant, and the composed bond
+ * yield -- into dense plan rows over core::EvalPlan, then evaluate
+ * whole sample columns with the same branchless SoA kernels the
+ * Monte Carlo batch path runs on.
+ *
+ * A compiled plan is the package-combine step over per-chiplet Eq. 5
+ * rows:
+ *
+ *   total(s) = (sum_r row_r.cpa(inputs[s]) * weight_r + assembly)
+ *              / Y_pkg
+ *
+ * where weight_r is the row's yielded silicon in cm2 (fixed at
+ * compile time -- defect yields do not depend on the bound fab
+ * inputs) and row_r.cpa runs the compiled Eq. 5 arithmetic at the
+ * row's node. Bindable inputs are the fab-level terms shared by
+ * every row: CiFab and Abatement. Yield cannot be bound -- the
+ * defect models replace the scalar fab yield -- and Epa/Gpa/Mpa are
+ * node-resolved constants.
+ *
+ * For any input the compiled result is bit-identical to
+ * pkg::evaluatePackage() over a correspondingly mutated FabParams
+ * (the scalar oracle), and evaluateBatch() is bit-identical to
+ * evaluate() in a loop at every SIMD dispatch level -- the same
+ * contract core::EvalPlan keeps (DESIGN.md §10-11, §13).
+ */
+
+#ifndef ACT_PKG_PKG_PLAN_H
+#define ACT_PKG_PKG_PLAN_H
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/eval_plan.h"
+#include "pkg/package.h"
+
+namespace act::pkg {
+
+/** One compiled package-carbon evaluation over bound fab inputs. */
+class PackagePlan
+{
+  public:
+    /** Most bound inputs a package plan supports. */
+    static constexpr std::size_t kMaxInputs =
+        core::EvalPlan::kMaxInputs;
+
+    /**
+     * Compile @p spec under @p fab. @p bindings may name CiFab and/or
+     * Abatement; fatal on Yield/Epa/Gpa/Mpa (see file comment), on
+     * duplicates, or on an invalid spec (validatePackageSpec).
+     */
+    static PackagePlan
+    compile(const PackageSpec &spec, const core::FabParams &fab,
+            std::span<const core::EvalInput> bindings = {});
+
+    /** Number of bound inputs (the expected values[] length). */
+    std::size_t inputCount() const { return input_count_; }
+
+    /** The bound inputs, in values[] order. */
+    std::span<const core::EvalInput> bindings() const
+    {
+        return {bindings_.data(), input_count_};
+    }
+
+    /**
+     * Evaluate one sample: values[i] feeds binding i; pass nullptr
+     * for a plan with no bound inputs. Returns grams CO2 per package.
+     */
+    double evaluate(const double *values = nullptr) const;
+
+    /**
+     * Batched evaluation over structure-of-arrays columns:
+     * outputs[s] = evaluate({inputs[0][s], ...}) for s in [0, n).
+     * @p scratch must hold n doubles (a reused per-row CPA column).
+     */
+    void evaluateBatch(std::size_t n, const double *const *inputs,
+                       double *outputs, double *scratch) const;
+
+    /** The compiled baseline (no inputs perturbed). */
+    util::Mass baseline() const
+    {
+        return util::grams(evaluate(nullptr));
+    }
+
+    /** Plan rows: one per die group, plus one for the substrate. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Composed assembly yield b^bonds. */
+    double packageYield() const { return package_yield_; }
+
+  private:
+    PackagePlan() = default;
+
+    /** One Eq. 5 row: a node-resolved plan times its silicon. */
+    struct Row
+    {
+        core::EvalPlan plan;
+        /** Yielded silicon charged against this row's CPA, cm2. */
+        double weight_cm2 = 0.0;
+    };
+
+    std::vector<Row> rows_;
+    double assembly_g_ = 0.0;
+    double package_yield_ = 1.0;
+    std::array<core::EvalInput, kMaxInputs> bindings_{};
+    std::size_t input_count_ = 0;
+};
+
+} // namespace act::pkg
+
+#endif // ACT_PKG_PKG_PLAN_H

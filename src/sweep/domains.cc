@@ -10,6 +10,8 @@
 #include "core/model_config.h"
 #include "data/soc_db.h"
 #include "mobile/platform.h"
+#include "pkg/package.h"
+#include "pkg/pkg_plan.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -417,11 +419,229 @@ summarizeAccel(const SweepPlan &, const JsonArray &results)
     return out.str();
 }
 
+// ---------------------------------------------------------------------
+// chiplet: packaging-style x die-count walk over the pkg layer.
+// ---------------------------------------------------------------------
+
+struct ChipletSweepConfig
+{
+    double logic_area_mm2 = 0.0;
+    double node_nm = 7.0;
+    int max_chiplets = 8;
+    /** Die-to-die interface area tax, growing with the cut count. */
+    double interface_overhead = 0.10;
+    core::DefectParams defects;
+    core::FabParams fab;
+    std::vector<pkg::PackagingStyle> styles;
+    /** Optional fab-CI scenario column, bound as EvalInput::CiFab so
+     *  chunks run the batched package kernel. */
+    std::vector<double> ci_fab_g_per_kwh;
+    /** Flattened (style, die count) grid, in item order. */
+    std::vector<std::pair<pkg::PackagingStyle, int>> points;
+};
+
+ChipletSweepConfig
+parseChipletConfig(const SweepPlan &plan)
+{
+    if (!plan.config.isObject())
+        util::fatal("chiplet plan needs a 'config' object");
+    ChipletSweepConfig parsed;
+    parsed.logic_area_mm2 =
+        plan.config.numberOr("logic_area_mm2", 0.0);
+    if (parsed.logic_area_mm2 <= 0.0)
+        util::fatal(
+            "chiplet config needs a positive 'logic_area_mm2'");
+    parsed.node_nm = plan.config.numberOr("node_nm", 7.0);
+    parsed.max_chiplets = static_cast<int>(
+        plan.config.numberOr("max_chiplets", 8.0));
+    if (parsed.max_chiplets < 1)
+        util::fatal("chiplet config 'max_chiplets' must be >= 1");
+    parsed.interface_overhead =
+        plan.config.numberOr("interface_overhead", 0.10);
+    if (parsed.interface_overhead < 0.0)
+        util::fatal(
+            "chiplet config 'interface_overhead' must be >= 0");
+    if (plan.config.contains("defect_density_per_cm2")) {
+        parsed.defects.defect_density_per_cm2 =
+            plan.config.at("defect_density_per_cm2").asNumber();
+    }
+    if (plan.config.contains("fab"))
+        parsed.fab = core::fabParamsFromJson(plan.config.at("fab"));
+    if (plan.config.contains("styles")) {
+        for (const JsonValue &style :
+             plan.config.at("styles").asArray()) {
+            parsed.styles.push_back(
+                pkg::packagingStyleByName(style.asString()));
+        }
+        if (parsed.styles.empty())
+            util::fatal("chiplet config has an empty 'styles' array");
+    } else {
+        parsed.styles.assign(std::begin(pkg::kPackagingStyles),
+                             std::end(pkg::kPackagingStyles));
+    }
+    if (plan.config.contains("ci_fab_g_per_kwh")) {
+        for (const JsonValue &value :
+             plan.config.at("ci_fab_g_per_kwh").asArray()) {
+            parsed.ci_fab_g_per_kwh.push_back(value.asNumber());
+        }
+    }
+    // Monolithic only admits one die; multi-die styles walk the cut
+    // counts 2..max so the grid never repeats the monolithic point.
+    for (const pkg::PackagingStyle style : parsed.styles) {
+        if (style == pkg::PackagingStyle::Monolithic) {
+            parsed.points.emplace_back(style, 1);
+        } else {
+            for (int n = 2; n <= parsed.max_chiplets; ++n)
+                parsed.points.emplace_back(style, n);
+        }
+    }
+    if (parsed.points.empty()) {
+        util::fatal("chiplet config spans no grid points (multi-die "
+                    "styles need 'max_chiplets' >= 2)");
+    }
+    return parsed;
+}
+
+/** The pkg spec for one grid point: the logic area cut into n dies
+ *  plus the per-cut interface tax, under the style's defaults. */
+pkg::PackageSpec
+chipletSweepSpec(const ChipletSweepConfig &config,
+                 pkg::PackagingStyle style, int num_dies)
+{
+    pkg::PackageSpec spec = pkg::PackageSpec::forStyle(style);
+    const double n = static_cast<double>(num_dies);
+    const double scale =
+        1.0 + config.interface_overhead * (n - 1.0) / n;
+    pkg::ChipletSpec die;
+    die.name = "die";
+    die.area = util::squareMillimeters(config.logic_area_mm2) *
+               (scale / n);
+    die.node_nm = config.node_nm;
+    die.defects = config.defects;
+    die.count = num_dies;
+    spec.chiplets.push_back(die);
+    return spec;
+}
+
+void
+prepareChiplet(SweepPlan &plan)
+{
+    const ChipletSweepConfig config = parseChipletConfig(plan);
+    if (plan.items == 0)
+        plan.items = config.points.size();
+    else if (plan.items != config.points.size())
+        util::fatal("chiplet sweep plan pins ", plan.items,
+                    " items but the config spans ",
+                    config.points.size(), " (styles x die counts)");
+    resolveFingerprint(plan);
+}
+
+JsonChunkEvaluator
+chipletEvaluator(const SweepPlan &plan)
+{
+    // The grid is small, so specs and compiled plans resolve once
+    // here; chunks share them read-only. The scalar fields come from
+    // the evaluatePackage() oracle and the scenario column from the
+    // compiled batch kernel -- bit-identical by the pkg_plan contract,
+    // so shards merge byte-identically to a single-process run.
+    auto config = std::make_shared<const ChipletSweepConfig>(
+        parseChipletConfig(plan));
+    std::vector<core::EvalInput> bindings;
+    if (!config->ci_fab_g_per_kwh.empty())
+        bindings.push_back(core::EvalInput::CiFab);
+    auto specs = std::make_shared<std::vector<pkg::PackageSpec>>();
+    auto plans = std::make_shared<std::vector<pkg::PackagePlan>>();
+    specs->reserve(config->points.size());
+    plans->reserve(config->points.size());
+    for (const auto &[style, count] : config->points) {
+        specs->push_back(chipletSweepSpec(*config, style, count));
+        plans->push_back(pkg::PackagePlan::compile(
+            specs->back(), config->fab, bindings));
+    }
+    return [config, specs, plans](std::size_t, util::IndexRange range,
+                                  util::Xorshift64Star &) {
+        JsonArray points;
+        points.reserve(range.size());
+        for (std::size_t k = range.begin; k < range.end; ++k) {
+            const auto &[style, count] = config->points[k];
+            const pkg::PackageResult result =
+                pkg::evaluatePackage((*specs)[k], config->fab);
+            JsonObject point;
+            point["style"] = JsonValue(
+                std::string(pkg::packagingStyleName(style)));
+            point["num_dies"] =
+                JsonValue(static_cast<double>(count));
+            point["total_g"] =
+                JsonValue(util::asGrams(result.total));
+            point["silicon_g"] =
+                JsonValue(util::asGrams(result.silicon_embodied));
+            point["substrate_g"] =
+                JsonValue(util::asGrams(result.substrate_embodied));
+            point["assembly_g"] =
+                JsonValue(util::asGrams(result.assembly_embodied));
+            point["min_die_yield"] = JsonValue(result.min_die_yield);
+            point["package_yield"] = JsonValue(result.package_yield);
+            if (!config->ci_fab_g_per_kwh.empty()) {
+                const std::size_t n =
+                    config->ci_fab_g_per_kwh.size();
+                std::vector<double> outputs(n);
+                std::vector<double> scratch(n);
+                const double *columns[1] = {
+                    config->ci_fab_g_per_kwh.data()};
+                (*plans)[k].evaluateBatch(n, columns, outputs.data(),
+                                          scratch.data());
+                JsonArray totals;
+                totals.reserve(n);
+                for (const double grams : outputs)
+                    totals.push_back(JsonValue(grams));
+                point["ci_fab_totals_g"] =
+                    JsonValue(std::move(totals));
+            }
+            points.push_back(JsonValue(std::move(point)));
+        }
+        return JsonValue(std::move(points));
+    };
+}
+
+std::string
+summarizeChiplet(const SweepPlan &, const JsonArray &results)
+{
+    std::size_t count = 0;
+    double best_g = 0.0;
+    std::string best_style;
+    int best_dies = 0;
+    for (const JsonValue &chunk : results) {
+        for (const JsonValue &point : chunk.asArray()) {
+            const double grams = point.at("total_g").asNumber();
+            if (count == 0 || grams < best_g) {
+                best_g = grams;
+                best_style = point.at("style").asString();
+                best_dies = static_cast<int>(
+                    point.at("num_dies").asNumber());
+            }
+            ++count;
+        }
+    }
+    std::ostringstream out;
+    out << "chiplet packaging sweep, " << count
+        << " packages: minimum embodied " << util::formatSig(best_g, 4)
+        << " g CO2 (" << best_style << ", " << best_dies << " "
+        << (best_dies == 1 ? "die" : "dies") << ")\n";
+    return out.str();
+}
+
 constexpr Domain kDomains[] = {
-    {"cpa_montecarlo", prepareCpaMonteCarlo, cpaMonteCarloEvaluator,
+    {"cpa_montecarlo",
+     "Eq. 5 CPA uncertainty at a fixed node (Monte Carlo)",
+     prepareCpaMonteCarlo, cpaMonteCarloEvaluator,
      summarizeCpaMonteCarlo},
-    {"mobile", prepareMobile, mobileEvaluator, summarizeMobile},
-    {"accel", prepareAccel, accelEvaluator, summarizeAccel},
+    {"mobile", "the Fig. 8 mobile-SoC design space, one item per SoC",
+     prepareMobile, mobileEvaluator, summarizeMobile},
+    {"accel", "the Fig. 12 NPU design-space walk, node x MAC count",
+     prepareAccel, accelEvaluator, summarizeAccel},
+    {"chiplet",
+     "packaging style x die count over compiled pkg::PackagePlan",
+     prepareChiplet, chipletEvaluator, summarizeChiplet},
 };
 
 } // namespace
@@ -452,7 +672,8 @@ findDomain(std::string_view name)
         known += known_name;
     }
     util::fatal("unknown sweep domain '", std::string(name),
-                "' (known: ", known, ")");
+                "' (known: ", known,
+                "; run 'act sweep --list-domains' for details)");
 }
 
 std::vector<std::string_view>
@@ -462,6 +683,12 @@ domainNames()
     for (const Domain &domain : kDomains)
         names.push_back(domain.name);
     return names;
+}
+
+std::span<const Domain>
+allDomains()
+{
+    return kDomains;
 }
 
 JsonValue

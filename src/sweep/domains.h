@@ -16,15 +16,20 @@
  *    constants resolved once via mobile::compileMobilePlatforms).
  *  - "accel": the Fig. 12 NPU design-space walk, node x MAC-count;
  *    one item per (node, MAC) pair, Eq. 5 compiled once per node.
+ *  - "chiplet": the packaging design space over the pkg layer; one
+ *    item per (packaging style, die count) grid point, each evaluated
+ *    through a compiled pkg::PackagePlan. An optional fab-CI scenario
+ *    column runs the batched package kernel per item.
  *
  * Domains are separate from the engine so the engine stays free of
  * model dependencies (engine: util + config only; domains: dse,
- * mobile, accel, core).
+ * mobile, accel, pkg, core).
  */
 
 #ifndef ACT_SWEEP_DOMAINS_H
 #define ACT_SWEEP_DOMAINS_H
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +43,8 @@ namespace act::sweep {
 struct Domain
 {
     std::string_view name;
+    /** One-line summary for `act sweep --list-domains`. */
+    std::string_view description;
     /**
      * Resolve a loaded plan for execution: fill a zero item count and
      * an automatic grain with the domain's defaults, validate the
@@ -58,6 +65,9 @@ const Domain &findDomain(std::string_view name);
 
 /** Registered domain names, for help text and error messages. */
 std::vector<std::string_view> domainNames();
+
+/** All registered domains, for `act sweep --list-domains`. */
+std::span<const Domain> allDomains();
 
 /**
  * The scalar-closure equivalent of the cpa_montecarlo batch kernel

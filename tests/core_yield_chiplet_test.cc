@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/chiplet.h"
+#include "pkg/chiplet.h"
 #include "core/embodied.h"
 #include "core/yield.h"
 
@@ -64,6 +64,41 @@ TEST(YieldModels, InvalidInputsAreFatal)
                 ::testing::ExitedWithCode(1), "");
 }
 
+TEST(YieldModels, MurphySmallLambdaLimitIsOne)
+{
+    // ((1 - exp(-x))/x)^2 cancels catastrophically as x -> 0; the
+    // expm1 form must approach Y = 1 smoothly from below instead.
+    DefectParams defects;
+    defects.model = YieldModel::Murphy;
+    defects.defect_density_per_cm2 = 1e-12;
+    double prev = 0.0;
+    for (double cm2 : {1.0, 1e-3, 1e-6, 1e-9, 1e-12}) {
+        const double y =
+            dieYield(util::squareCentimeters(cm2), defects);
+        EXPECT_GT(y, 0.999) << "lambda = " << cm2 * 1e-12;
+        EXPECT_LE(y, 1.0);
+        EXPECT_GE(y, prev);
+        prev = y;
+    }
+    // Deep in the limit the yield is exactly 1: expm1(-x) == -x.
+    defects.defect_density_per_cm2 = 1e-300;
+    EXPECT_EQ(dieYield(util::squareCentimeters(1e-3), defects), 1.0);
+}
+
+TEST(YieldModels, MurphyMatchesNaiveFormAtModerateLambda)
+{
+    // Where the naive form is accurate the expm1 form must agree.
+    DefectParams defects;
+    defects.model = YieldModel::Murphy;
+    for (double lambda : {0.05, 0.5, 2.0, 8.0}) {
+        defects.defect_density_per_cm2 = lambda;
+        const double naive =
+            std::pow((1.0 - std::exp(-lambda)) / lambda, 2.0);
+        EXPECT_NEAR(dieYield(util::squareCentimeters(1.0), defects),
+                    naive, 1e-12 * naive + 1e-300);
+    }
+}
+
 TEST(YieldModels, EffectiveAreaExceedsRawArea)
 {
     const DefectParams defects;
@@ -97,32 +132,32 @@ INSTANTIATE_TEST_SUITE_P(AllModels, YieldMonotonic,
 TEST(Chiplets, SmallDiesStayMonolithic)
 {
     const core::FabParams fab;
-    ChipletParams params;
+    pkg::ChipletParams params;
     params.defects.defect_density_per_cm2 = 0.15;
     const auto sweep =
-        chipletSweep(squareMillimeters(100.0), 7.0, fab, params);
-    EXPECT_EQ(sweep[optimalChipletCount(sweep)].num_chiplets, 1);
+        pkg::chipletSweep(squareMillimeters(100.0), 7.0, fab, params);
+    EXPECT_EQ(sweep[pkg::optimalChipletCount(sweep)].num_chiplets, 1);
 }
 
 TEST(Chiplets, LargeDiesPreferPartitioning)
 {
     const core::FabParams fab;
-    ChipletParams params;
+    pkg::ChipletParams params;
     params.defects.defect_density_per_cm2 = 0.15;
     const auto sweep =
-        chipletSweep(squareMillimeters(800.0), 7.0, fab, params);
-    EXPECT_GT(sweep[optimalChipletCount(sweep)].num_chiplets, 2);
+        pkg::chipletSweep(squareMillimeters(800.0), 7.0, fab, params);
+    EXPECT_GT(sweep[pkg::optimalChipletCount(sweep)].num_chiplets, 2);
     // Monolithic 800 mm2 wastes a lot of yielded silicon.
-    EXPECT_LT(util::asGrams(sweep[optimalChipletCount(sweep)].total()),
+    EXPECT_LT(util::asGrams(sweep[pkg::optimalChipletCount(sweep)].total()),
               0.6 * util::asGrams(sweep[0].total()));
 }
 
 TEST(Chiplets, YieldImprovesWithPartitioning)
 {
     const core::FabParams fab;
-    const ChipletParams params;
+    const pkg::ChipletParams params;
     const auto sweep =
-        chipletSweep(squareMillimeters(600.0), 7.0, fab, params);
+        pkg::chipletSweep(squareMillimeters(600.0), 7.0, fab, params);
     for (std::size_t i = 1; i < sweep.size(); ++i)
         EXPECT_GT(sweep[i].chiplet_yield, sweep[i - 1].chiplet_yield);
 }
@@ -130,8 +165,8 @@ TEST(Chiplets, YieldImprovesWithPartitioning)
 TEST(Chiplets, MonolithicHasNoInterposerOrInterfaceOverhead)
 {
     const core::FabParams fab;
-    const ChipletParams params;
-    const auto point = evaluateChiplets(squareMillimeters(300.0), 1,
+    const pkg::ChipletParams params;
+    const auto point = pkg::evaluateChiplets(squareMillimeters(300.0), 1,
                                         7.0, fab, params);
     EXPECT_DOUBLE_EQ(util::asGrams(point.interposer_embodied), 0.0);
     EXPECT_NEAR(util::asSquareMillimeters(point.chiplet_area), 300.0,
@@ -143,8 +178,8 @@ TEST(Chiplets, MonolithicHasNoInterposerOrInterfaceOverhead)
 TEST(Chiplets, CostModelComponentsAddUp)
 {
     const core::FabParams fab;
-    const ChipletParams params;
-    const auto point = evaluateChiplets(squareMillimeters(600.0), 4,
+    const pkg::ChipletParams params;
+    const auto point = pkg::evaluateChiplets(squareMillimeters(600.0), 4,
                                         7.0, fab, params);
     EXPECT_NEAR(util::asGrams(point.total()),
                 util::asGrams(point.silicon_embodied) +
@@ -161,24 +196,24 @@ TEST(Chiplets, PerfectYieldMakesMonolithicOptimal)
     // With essentially no defects there is nothing for chiplets to
     // recover, so overheads make partitioning strictly worse.
     const core::FabParams fab;
-    ChipletParams params;
+    pkg::ChipletParams params;
     params.defects.defect_density_per_cm2 = 1e-6;
     const auto sweep =
-        chipletSweep(squareMillimeters(800.0), 7.0, fab, params);
-    EXPECT_EQ(sweep[optimalChipletCount(sweep)].num_chiplets, 1);
+        pkg::chipletSweep(squareMillimeters(800.0), 7.0, fab, params);
+    EXPECT_EQ(sweep[pkg::optimalChipletCount(sweep)].num_chiplets, 1);
 }
 
 TEST(Chiplets, InvalidArgumentsAreFatal)
 {
     const core::FabParams fab;
-    const ChipletParams params;
-    EXPECT_EXIT(evaluateChiplets(squareMillimeters(100.0), 0, 7.0, fab,
+    const pkg::ChipletParams params;
+    EXPECT_EXIT(pkg::evaluateChiplets(squareMillimeters(100.0), 0, 7.0, fab,
                                  params),
                 ::testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(evaluateChiplets(squareMillimeters(0.0), 2, 7.0, fab,
+    EXPECT_EXIT(pkg::evaluateChiplets(squareMillimeters(0.0), 2, 7.0, fab,
                                  params),
                 ::testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(optimalChipletCount({}), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(pkg::optimalChipletCount({}), ::testing::ExitedWithCode(1),
                 "");
 }
 

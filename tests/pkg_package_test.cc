@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the packaging layer: the PackageSpec oracle, the compiled
+ * PackagePlan (bit-identical to the oracle, scalar and batch), spec
+ * validation, and the legacy homogeneous-chiplet wrapper.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/embodied.h"
+#include "pkg/chiplet.h"
+#include "pkg/package.h"
+#include "pkg/pkg_plan.h"
+
+namespace act::pkg {
+namespace {
+
+using util::squareMillimeters;
+
+constexpr core::YieldModel kYieldModels[] = {
+    core::YieldModel::Poisson,
+    core::YieldModel::Murphy,
+    core::YieldModel::NegativeBinomial,
+};
+
+/** A heterogeneous package under @p style: two compute dies at 5 nm,
+ *  one mature I/O die, two cache dies -- or a single monolithic SoC. */
+PackageSpec
+heteroSpec(PackagingStyle style, core::YieldModel model)
+{
+    PackageSpec spec = PackageSpec::forStyle(style);
+    core::DefectParams leading{0.12, 3.0, model};
+    if (style == PackagingStyle::Monolithic) {
+        spec.chiplets.push_back(
+            {"soc", squareMillimeters(300.0), 7.0, leading, 1});
+        return spec;
+    }
+    core::DefectParams mature{0.08, 2.0, model};
+    spec.chiplets.push_back(
+        {"compute", squareMillimeters(150.0), 5.0, leading, 2});
+    spec.chiplets.push_back(
+        {"io", squareMillimeters(90.0), 28.0, mature, 1});
+    spec.chiplets.push_back(
+        {"cache", squareMillimeters(60.0), 14.0, leading, 2});
+    return spec;
+}
+
+// ---------------------------------------------------------------------
+// Oracle structure
+// ---------------------------------------------------------------------
+
+TEST(PackageOracle, StyleNamesRoundTrip)
+{
+    for (const PackagingStyle style : kPackagingStyles)
+        EXPECT_EQ(packagingStyleByName(packagingStyleName(style)),
+                  style);
+}
+
+TEST(PackageOracle, BondCounts)
+{
+    EXPECT_EQ(bondCount(PackagingStyle::Monolithic, 1), 0);
+    EXPECT_EQ(bondCount(PackagingStyle::OrganicSubstrate, 5), 5);
+    EXPECT_EQ(bondCount(PackagingStyle::SiliconInterposer, 4), 4);
+    EXPECT_EQ(bondCount(PackagingStyle::Stacked3D, 4), 3);
+}
+
+TEST(PackageOracle, ComponentsAddUpUnderPackageYield)
+{
+    const core::FabParams fab;
+    for (const PackagingStyle style : kPackagingStyles) {
+        const PackageSpec spec =
+            heteroSpec(style, core::YieldModel::NegativeBinomial);
+        const PackageResult result = evaluatePackage(spec, fab);
+        EXPECT_EQ(result.die_count, spec.dieCount());
+        EXPECT_EQ(result.package_yield,
+                  std::pow(spec.bond_yield,
+                           bondCount(style, spec.dieCount())));
+        EXPECT_EQ(util::asGrams(result.total),
+                  (util::asGrams(result.silicon_embodied) +
+                   util::asGrams(result.substrate_embodied) +
+                   util::asGrams(result.assembly_embodied)) /
+                      result.package_yield);
+        EXPECT_GT(util::asSquareCentimeters(result.effective_silicon),
+                  util::asSquareCentimeters(result.silicon_area));
+        EXPECT_GT(result.min_die_yield, 0.0);
+        EXPECT_LT(result.min_die_yield, 1.0);
+    }
+}
+
+TEST(PackageOracle, TsvOverheadInflatesStackedSilicon)
+{
+    const core::FabParams fab;
+    PackageSpec spec =
+        heteroSpec(PackagingStyle::Stacked3D,
+                   core::YieldModel::NegativeBinomial);
+    const PackageResult with_tsv = evaluatePackage(spec, fab);
+    spec.tsv_area_overhead = 0.0;
+    const PackageResult without = evaluatePackage(spec, fab);
+    EXPECT_GT(util::asSquareCentimeters(with_tsv.silicon_area),
+              util::asSquareCentimeters(without.silicon_area));
+    EXPECT_GT(util::asGrams(with_tsv.silicon_embodied),
+              util::asGrams(without.silicon_embodied));
+}
+
+TEST(PackageOracle, InterfaceEnergyScalesWithBits)
+{
+    const core::FabParams fab;
+    const PackageResult result = evaluatePackage(
+        heteroSpec(PackagingStyle::OrganicSubstrate,
+                   core::YieldModel::Poisson),
+        fab);
+    EXPECT_EQ(result.d2d_energy_pj_per_bit, 1.0);
+    EXPECT_DOUBLE_EQ(util::asJoules(result.interfaceEnergy(1e12)),
+                     1.0);
+}
+
+// ---------------------------------------------------------------------
+// Compiled plan vs oracle, bitwise
+// ---------------------------------------------------------------------
+
+TEST(PackagePlanTest, MatchesOracleBitwiseEveryStyleAndYieldModel)
+{
+    const core::FabParams fab;
+    for (const PackagingStyle style : kPackagingStyles) {
+        for (const core::YieldModel model : kYieldModels) {
+            const PackageSpec spec = heteroSpec(style, model);
+            const PackagePlan plan =
+                PackagePlan::compile(spec, fab);
+            const PackageResult oracle = evaluatePackage(spec, fab);
+            EXPECT_EQ(plan.evaluate(), util::asGrams(oracle.total))
+                << packagingStyleName(style) << " / "
+                << core::yieldModelName(model);
+            EXPECT_EQ(plan.packageYield(), oracle.package_yield);
+        }
+    }
+}
+
+TEST(PackagePlanTest, RowPerGroupPlusSubstrate)
+{
+    const core::FabParams fab;
+    const auto rows = [&fab](PackagingStyle style) {
+        return PackagePlan::compile(
+                   heteroSpec(style,
+                              core::YieldModel::NegativeBinomial),
+                   fab)
+            .rowCount();
+    };
+    EXPECT_EQ(rows(PackagingStyle::Monolithic), 1u);
+    EXPECT_EQ(rows(PackagingStyle::OrganicSubstrate), 4u);
+    EXPECT_EQ(rows(PackagingStyle::SiliconInterposer), 4u);
+    // 3D stacks have no substrate row.
+    EXPECT_EQ(rows(PackagingStyle::Stacked3D), 3u);
+}
+
+TEST(PackagePlanTest, BoundInputsMatchMutatedOracleBitwise)
+{
+    const std::vector<core::EvalInput> bindings = {
+        core::EvalInput::CiFab, core::EvalInput::Abatement};
+    for (const PackagingStyle style : kPackagingStyles) {
+        const PackageSpec spec =
+            heteroSpec(style, core::YieldModel::Murphy);
+        const PackagePlan plan =
+            PackagePlan::compile(spec, core::FabParams{}, bindings);
+        for (const double ci : {30.0, 365.0, 700.0}) {
+            for (const double abatement : {0.90, 0.97, 1.0}) {
+                core::FabParams fab;
+                fab.ci_fab = util::gramsPerKilowattHour(ci);
+                fab.abatement = abatement;
+                const double values[] = {ci, abatement};
+                EXPECT_EQ(plan.evaluate(values),
+                          util::asGrams(
+                              evaluatePackage(spec, fab).total))
+                    << packagingStyleName(style) << " ci " << ci
+                    << " abatement " << abatement;
+            }
+        }
+    }
+}
+
+TEST(PackagePlanTest, BatchMatchesScalarBitwise)
+{
+    // A ragged, non-multiple-of-SIMD-width sample count over the full
+    // fab-CI range; the SoA kernel must reproduce the scalar loop
+    // bit-for-bit (the same contract core::EvalPlan keeps).
+    constexpr std::size_t kSamples = 257;
+    std::vector<double> ci(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+        ci[i] = 30.0 + (700.0 - 30.0) * static_cast<double>(i) /
+                           static_cast<double>(kSamples - 1);
+    }
+    const std::vector<core::EvalInput> bindings = {
+        core::EvalInput::CiFab};
+    const double *columns[] = {ci.data()};
+    for (const PackagingStyle style : kPackagingStyles) {
+        for (const core::YieldModel model : kYieldModels) {
+            const PackagePlan plan = PackagePlan::compile(
+                heteroSpec(style, model), core::FabParams{},
+                bindings);
+            std::vector<double> batch(kSamples);
+            std::vector<double> scratch(kSamples);
+            plan.evaluateBatch(kSamples, columns, batch.data(),
+                               scratch.data());
+            for (std::size_t i = 0; i < kSamples; ++i) {
+                EXPECT_EQ(batch[i], plan.evaluate(&ci[i]))
+                    << packagingStyleName(style) << " / "
+                    << core::yieldModelName(model) << " sample " << i;
+            }
+        }
+    }
+}
+
+TEST(PackagePlanTest, BaselineMatchesUnboundEvaluate)
+{
+    const PackagePlan plan = PackagePlan::compile(
+        heteroSpec(PackagingStyle::SiliconInterposer,
+                   core::YieldModel::Poisson),
+        core::FabParams{});
+    EXPECT_EQ(util::asGrams(plan.baseline()), plan.evaluate());
+    EXPECT_EQ(plan.inputCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+class PackageDeathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+        spec_ = heteroSpec(PackagingStyle::OrganicSubstrate,
+                           core::YieldModel::NegativeBinomial);
+    }
+
+    PackageSpec spec_;
+};
+
+TEST_F(PackageDeathTest, EmptyChipletListIsFatal)
+{
+    spec_.chiplets.clear();
+    EXPECT_EXIT(validatePackageSpec(spec_),
+                ::testing::ExitedWithCode(1), "empty chiplet list");
+}
+
+TEST_F(PackageDeathTest, NonPositiveCountOrAreaIsFatal)
+{
+    PackageSpec bad = spec_;
+    bad.chiplets[0].count = 0;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "count must be >= 1");
+    bad = spec_;
+    bad.chiplets[1].area = squareMillimeters(0.0);
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "area must be positive");
+}
+
+TEST_F(PackageDeathTest, NegativeOverheadsAreFatal)
+{
+    PackageSpec bad = spec_;
+    bad.substrate_area_factor = -0.1;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "substrate area factor");
+    bad = spec_;
+    bad.assembly_overhead_fraction = -0.5;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1),
+                "assembly overhead fraction");
+    bad = spec_;
+    bad.d2d_energy_pj_per_bit = -1.0;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "die-to-die energy");
+    bad = heteroSpec(PackagingStyle::Stacked3D,
+                     core::YieldModel::Poisson);
+    bad.tsv_area_overhead = -0.05;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "TSV area overhead");
+}
+
+TEST_F(PackageDeathTest, NonPositiveSubstrateNodeIsFatal)
+{
+    spec_.substrate_node_nm = 0.0;
+    EXPECT_EXIT(validatePackageSpec(spec_),
+                ::testing::ExitedWithCode(1), "substrate node");
+}
+
+TEST_F(PackageDeathTest, BondYieldOutsideUnitIntervalIsFatal)
+{
+    PackageSpec bad = spec_;
+    bad.bond_yield = 0.0;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "bond yield");
+    bad.bond_yield = 1.5;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "bond yield");
+}
+
+TEST_F(PackageDeathTest, TsvOutsideStackedStyleIsFatal)
+{
+    spec_.tsv_area_overhead = 0.05;
+    EXPECT_EXIT(validatePackageSpec(spec_),
+                ::testing::ExitedWithCode(1), "3D stacks");
+}
+
+TEST_F(PackageDeathTest, MultiDieMonolithicIsFatal)
+{
+    PackageSpec bad = heteroSpec(PackagingStyle::Monolithic,
+                                 core::YieldModel::Poisson);
+    bad.chiplets[0].count = 2;
+    EXPECT_EXIT(validatePackageSpec(bad),
+                ::testing::ExitedWithCode(1), "exactly one die");
+}
+
+TEST_F(PackageDeathTest, UnknownStyleNameIsFatal)
+{
+    EXPECT_EXIT(packagingStyleByName("bogus"),
+                ::testing::ExitedWithCode(1), "unknown packaging");
+}
+
+TEST_F(PackageDeathTest, PlanRejectsNonFabBindings)
+{
+    const std::vector<core::EvalInput> yield_binding = {
+        core::EvalInput::Yield};
+    EXPECT_EXIT(PackagePlan::compile(spec_, core::FabParams{},
+                                     yield_binding),
+                ::testing::ExitedWithCode(1), "defect models");
+    const std::vector<core::EvalInput> epa_binding = {
+        core::EvalInput::Epa};
+    EXPECT_EXIT(PackagePlan::compile(spec_, core::FabParams{},
+                                     epa_binding),
+                ::testing::ExitedWithCode(1), "");
+}
+
+// ---------------------------------------------------------------------
+// Legacy homogeneous wrapper
+// ---------------------------------------------------------------------
+
+TEST(ChipletWrapper, MapsOntoPackagingOracle)
+{
+    const core::FabParams fab;
+    const ChipletParams params;
+    for (const int n : {1, 3, 8}) {
+        const PackageSpec spec = chipletPackageSpec(
+            squareMillimeters(600.0), n, 7.0, params);
+        EXPECT_EQ(spec.style, n == 1
+                                  ? PackagingStyle::Monolithic
+                                  : PackagingStyle::OrganicSubstrate);
+        EXPECT_EQ(spec.dieCount(), n);
+        EXPECT_EQ(spec.bond_yield, 1.0);
+        const PackageResult result = evaluatePackage(spec, fab);
+        const ChipletPoint point = evaluateChiplets(
+            squareMillimeters(600.0), n, 7.0, fab, params);
+        // Unit bond yield: the wrapper's three-component total is the
+        // package total, bit for bit.
+        EXPECT_EQ(util::asGrams(point.total()),
+                  util::asGrams(result.total));
+        EXPECT_EQ(point.chiplet_yield, result.min_die_yield);
+    }
+}
+
+TEST(ChipletWrapper, InvalidParamsAreFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const core::FabParams fab;
+    ChipletParams params;
+    params.interface_overhead = -0.1;
+    EXPECT_EXIT(evaluateChiplets(squareMillimeters(100.0), 2, 7.0,
+                                 fab, params),
+                ::testing::ExitedWithCode(1), "interface overhead");
+    params = ChipletParams{};
+    params.interposer_area_factor = -1.0;
+    EXPECT_EXIT(evaluateChiplets(squareMillimeters(100.0), 2, 7.0,
+                                 fab, params),
+                ::testing::ExitedWithCode(1), "interposer area");
+    params = ChipletParams{};
+    params.interposer_node_nm = 0.0;
+    EXPECT_EXIT(evaluateChiplets(squareMillimeters(100.0), 2, 7.0,
+                                 fab, params),
+                ::testing::ExitedWithCode(1), "interposer node");
+    params = ChipletParams{};
+    params.assembly_overhead_fraction = -0.25;
+    EXPECT_EXIT(evaluateChiplets(squareMillimeters(100.0), 2, 7.0,
+                                 fab, params),
+                ::testing::ExitedWithCode(1), "assembly overhead");
+}
+
+} // namespace
+} // namespace act::pkg

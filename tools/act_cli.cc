@@ -10,6 +10,7 @@
  *   act soc <name> [options]              mobile platform summary
  *   act footprint --energy-kwh E [--ci-use g] --embodied-g C
  *                 --time-years T --lifetime-years LT    Eq. 1
+ *   act sweep --list-domains              table of runnable domains
  *   act sweep --plan <plan.json> [--shards N --shard-index i]
  *             [--out <file>]     run a serialized sweep (or one shard)
  *   act merge <partial.json...> [--out <file>]   recombine shards
@@ -71,6 +72,7 @@ printUsage()
         "  soc <name>                     mobile platform summary\n"
         "  footprint --energy-kwh E [--ci-use g] --embodied-g C\n"
         "            --time-years T --lifetime-years LT   (Eq. 1)\n"
+        "  sweep --list-domains           table of runnable domains\n"
         "  sweep --plan <plan.json> [--out <file>]\n"
         "        [--shards N --shard-index i]  run a serialized sweep;\n"
         "        with a shard spec, write one partial-result file\n"
@@ -105,6 +107,21 @@ printUsage()
         "                     env: ACT_METRICS_PROM)\n";
 }
 
+/** Flags that stand alone instead of taking a value. */
+constexpr std::string_view kBooleanFlags[] = {
+    "list-domains",
+};
+
+bool
+isBooleanFlag(std::string_view name)
+{
+    for (const std::string_view flag : kBooleanFlags) {
+        if (flag == name)
+            return true;
+    }
+    return false;
+}
+
 /** Simple flag map over argv[from..). */
 class Args
 {
@@ -114,9 +131,14 @@ class Args
         for (int i = from; i < argc; ++i) {
             const std::string arg = argv[i];
             if (util::startsWith(arg, "--")) {
+                const std::string name = arg.substr(2);
+                if (isBooleanFlag(name)) {
+                    flags_.emplace_back(name, "true");
+                    continue;
+                }
                 if (i + 1 >= argc)
                     util::fatal("flag ", arg, " needs a value");
-                flags_.emplace_back(arg.substr(2), argv[++i]);
+                flags_.emplace_back(name, argv[++i]);
             } else {
                 positional_.push_back(arg);
             }
@@ -433,8 +455,17 @@ countOr(const Args &args, const std::string &name, std::size_t fallback)
 int
 cmdSweep(const Args &args)
 {
+    if (args.has("list-domains")) {
+        util::Table table({"Domain", "Description"});
+        for (const sweep::Domain &domain : sweep::allDomains())
+            table.addRow({std::string(domain.name),
+                          std::string(domain.description)});
+        std::cout << table.render();
+        return 0;
+    }
     if (!args.has("plan"))
-        util::fatal("sweep needs --plan <plan.json>");
+        util::fatal("sweep needs --plan <plan.json> (or "
+                    "--list-domains to see what can run)");
     const std::string plan_path = args.stringOr("plan", "");
     sweep::SweepPlan plan =
         sweep::sweepPlanFromJson(config::loadJsonFile(plan_path));
