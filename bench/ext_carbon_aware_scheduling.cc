@@ -3,6 +3,12 @@
  * Extension study: operational-carbon savings from scheduling
  * deferrable work into the greenest hours of diurnal grid profiles --
  * the time-varying-CI direction flagged in Appendix A.1.
+ *
+ * Runs on the pluggable policy API (core::schedule over
+ * data::IntensitySeries); pinned byte-for-byte against
+ * bench/golden/ by the compare_carbon_aware ctest, which is what
+ * proves the series refactor output-identical to the original
+ * 24-hour implementation.
  */
 
 #include <iostream>
@@ -30,9 +36,9 @@ main(int argc, char **argv)
     const auto taiwan = data::regionIntensity(data::Region::Taiwan);
 
     experiment.section("hourly intensity, 25%-solar Taiwan grid");
-    const auto solar = data::DiurnalProfile::solarGrid(taiwan, 0.25);
+    const auto solar = data::IntensitySeries::solarDay(taiwan, 0.25);
     util::Table hours({"Hour", "g CO2/kWh"});
-    for (std::size_t h = 0; h < data::DiurnalProfile::kHours; h += 3)
+    for (std::size_t h = 0; h < solar.size(); h += 3)
         hours.addRow(util::formatFixed(static_cast<double>(h), 0) +
                          ":00",
                      {solar.at(h).value()});
@@ -43,10 +49,17 @@ main(int argc, char **argv)
                        "deferrable saving"});
     util::CsvWriter csv({"profile", "uniform_g", "aware_g", "saving"});
     const auto add_profile = [&](const std::string &name,
-                                 const data::DiurnalProfile &profile) {
-        const auto uniform = core::scheduleUniform(load, profile);
-        const auto aware = core::scheduleCarbonAware(load, profile);
-        const double saving = core::carbonAwareSaving(load, profile);
+                                 const data::IntensitySeries &series) {
+        const auto uniform = core::schedule(
+            load, series, core::policyByName("uniform"));
+        const auto aware = core::schedule(
+            load, series, core::policyByName("greedy"));
+        const double aware_g =
+            util::asGrams(aware.deferrable_footprint);
+        const double saving =
+            aware_g <= 0.0
+                ? 1.0
+                : util::asGrams(uniform.deferrable_footprint) / aware_g;
         table.addRow(name, {util::asGrams(uniform.total()),
                             util::asGrams(aware.total()), saving});
         csv.addRow(name, {util::asGrams(uniform.total()),
@@ -55,15 +68,15 @@ main(int argc, char **argv)
     };
 
     add_profile("flat (static model)",
-                data::DiurnalProfile::flat(taiwan));
+                data::IntensitySeries::flat(taiwan));
     const double s10 = add_profile(
-        "solar 10%", data::DiurnalProfile::solarGrid(taiwan, 0.10));
+        "solar 10%", data::IntensitySeries::solarDay(taiwan, 0.10));
     const double s25 = add_profile(
-        "solar 25%", data::DiurnalProfile::solarGrid(taiwan, 0.25));
+        "solar 25%", data::IntensitySeries::solarDay(taiwan, 0.25));
     const double s40 = add_profile(
-        "solar 40%", data::DiurnalProfile::solarGrid(taiwan, 0.40));
+        "solar 40%", data::IntensitySeries::solarDay(taiwan, 0.40));
     add_profile("wind 30%",
-                data::DiurnalProfile::windGrid(taiwan, 0.30));
+                data::IntensitySeries::windDay(taiwan, 0.30));
     std::cout << table.render();
 
     experiment.claim("saving grows with renewable share", "monotone",

@@ -1,0 +1,42 @@
+# Runs ext_carbon_aware_scheduling (table and --csv) and byte-compares
+# against the checked-in pre-refactor golden output. Guards the
+# acceptance criterion that the IntensitySeries + policy-API rework of
+# the 24-hour scheduling stack reproduces the original numbers exactly.
+foreach(var BENCH_BIN GOLDEN_DIR WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH_BIN}
+    OUTPUT_FILE ${WORK_DIR}/ext_carbon_aware_scheduling.out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ext_carbon_aware_scheduling exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/ext_carbon_aware_scheduling.out
+        ${GOLDEN_DIR}/ext_carbon_aware_scheduling.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "table output differs from golden")
+endif()
+
+execute_process(
+    COMMAND ${BENCH_BIN} --csv
+    OUTPUT_FILE ${WORK_DIR}/ext_carbon_aware_scheduling_csv.out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "ext_carbon_aware_scheduling --csv exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/ext_carbon_aware_scheduling_csv.out
+        ${GOLDEN_DIR}/ext_carbon_aware_scheduling_csv.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "csv output differs from golden")
+endif()

@@ -26,6 +26,7 @@
 #include "core/eval_plan.h"
 #include "dse/montecarlo.h"
 #include "dse/scoreboard.h"
+#include "fleet/replay.h"
 #include "mobile/platform.h"
 #include "pkg/pkg_plan.h"
 #include "ssd/ftl_sim.h"
@@ -388,6 +389,42 @@ BM_NpuEvaluation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_NpuEvaluation)->Arg(64)->Arg(512)->Arg(2048);
+
+/**
+ * Trace-driven fleet replay: 10k synthetic jobs placed under four
+ * deferral policies across a seasonal solar region and a flat clean
+ * one (8 scenarios -- one year of hourly samples). items/s counts job
+ * placements (jobs x scenarios); the sweep acceptance floor is
+ * >= 1M placements/s single-core.
+ */
+void
+BM_FleetReplay(benchmark::State &state)
+{
+    constexpr std::size_t kJobs = 10'000;
+    const auto config = config::JsonValue::parse(R"({
+        "pue": 1.3,
+        "lifetime_years": [4],
+        "policies": ["uniform", "greedy", "deadline", "migrate"],
+        "regions": [
+            {"name": "tw-solar", "profile": "solar",
+             "region": "Taiwan", "share": 0.25, "days": 365,
+             "seasonal_amplitude": 0.15},
+            {"name": "is-flat", "profile": "flat",
+             "region": "Iceland", "days": 365}
+        ],
+        "jobs": {"horizon_hours": 8760}
+    })");
+    const fleet::FleetSetup setup =
+        fleet::fleetSetupFromJson(config, 42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fleet::replayJobs(setup, {0, kJobs}));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(kJobs * setup.scenarios.size()));
+}
+BENCHMARK(BM_FleetReplay)->Unit(benchmark::kMillisecond);
 
 void
 BM_FtlSimulator(benchmark::State &state)

@@ -1,147 +1,59 @@
 #include "data/ci_profile.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace act::data {
 
-namespace {
-
-constexpr double kPi = 3.14159265358979323846;
-constexpr double kMaxHourlyShare = 0.95;
-
-/**
- * Solve for the scale k such that mean over hours of
- * min(kMaxHourlyShare, k * weight[h]) equals @p target_share, then
- * return the per-hour shares. Monotone in k, so bisection suffices.
- */
-std::array<double, DiurnalProfile::kHours>
-solveShares(const std::array<double, DiurnalProfile::kHours> &weights,
-            double target_share)
+DiurnalProfile::DiurnalProfile(IntensitySeries series)
+    : series_(std::move(series))
 {
-    std::array<double, DiurnalProfile::kHours> shares{};
-    if (target_share <= 0.0)
-        return shares;
-
-    const auto mean_at = [&weights](double k) {
-        double sum = 0.0;
-        for (double w : weights)
-            sum += std::min(kMaxHourlyShare, k * w);
-        return sum / static_cast<double>(DiurnalProfile::kHours);
-    };
-    if (mean_at(1e6) < target_share) {
-        util::fatal("renewable share ", target_share,
-                    " is unreachable with this profile shape");
-    }
-
-    double lo = 0.0;
-    double hi = 1e6;
-    for (int i = 0; i < 80; ++i) {
-        const double mid = 0.5 * (lo + hi);
-        if (mean_at(mid) < target_share)
-            lo = mid;
-        else
-            hi = mid;
-    }
-    for (std::size_t h = 0; h < DiurnalProfile::kHours; ++h)
-        shares[h] = std::min(kMaxHourlyShare, hi * weights[h]);
-    return shares;
-}
-
-void
-checkShare(double share, double max_share)
-{
-    if (share < 0.0 || share > max_share) {
-        util::fatal("renewable share must be in [0, ", max_share,
-                    "], got ", share);
+    if (series_.size() != kHours || series_.stepHours() != 1.0) {
+        util::fatal("a diurnal profile is a 24-sample hourly view; got ",
+                    series_.size(), " samples at ", series_.stepHours(),
+                    " h steps");
     }
 }
-
-} // namespace
 
 DiurnalProfile
 DiurnalProfile::flat(util::CarbonIntensity average)
 {
-    DiurnalProfile profile;
-    profile.grams_per_kwh_.fill(average.value());
-    return profile;
+    return DiurnalProfile(IntensitySeries::flat(average));
 }
 
 DiurnalProfile
 DiurnalProfile::solarGrid(util::CarbonIntensity base, double solar_share)
 {
-    // A day-only source cannot exceed ~0.44 daily-average share
-    // without storage; cap at 0.4.
-    checkShare(solar_share, 0.4);
-    std::array<double, kHours> weights{};
-    for (std::size_t h = 0; h < kHours; ++h) {
-        const double t = static_cast<double>(h);
-        weights[h] = (t >= 6.0 && t <= 18.0)
-                         ? std::sin(kPi * (t - 6.0) / 12.0)
-                         : 0.0;
-    }
-    const auto shares = solveShares(weights, solar_share);
-    const double solar_ci = sourceIntensity(EnergySource::Solar).value();
-
-    DiurnalProfile profile;
-    for (std::size_t h = 0; h < kHours; ++h) {
-        profile.grams_per_kwh_[h] =
-            (1.0 - shares[h]) * base.value() + shares[h] * solar_ci;
-    }
-    return profile;
+    return DiurnalProfile(IntensitySeries::solarDay(base, solar_share));
 }
 
 DiurnalProfile
 DiurnalProfile::windGrid(util::CarbonIntensity base, double wind_share)
 {
-    checkShare(wind_share, 0.8);
-    std::array<double, kHours> weights{};
-    for (std::size_t h = 0; h < kHours; ++h) {
-        // Wind availability often peaks overnight; keep it mild.
-        weights[h] = 1.0 + 0.35 * std::cos(2.0 * kPi *
-                                           (static_cast<double>(h) -
-                                            3.0) /
-                                           24.0);
-    }
-    const auto shares = solveShares(weights, wind_share);
-    const double wind_ci = sourceIntensity(EnergySource::Wind).value();
-
-    DiurnalProfile profile;
-    for (std::size_t h = 0; h < kHours; ++h) {
-        profile.grams_per_kwh_[h] =
-            (1.0 - shares[h]) * base.value() + shares[h] * wind_ci;
-    }
-    return profile;
+    return DiurnalProfile(IntensitySeries::windDay(base, wind_share));
 }
 
 util::CarbonIntensity
 DiurnalProfile::at(std::size_t hour) const
 {
-    return util::gramsPerKilowattHour(grams_per_kwh_[hour % kHours]);
+    return series_.at(hour);
 }
 
 util::CarbonIntensity
 DiurnalProfile::dailyAverage() const
 {
-    const double sum = std::accumulate(grams_per_kwh_.begin(),
-                                       grams_per_kwh_.end(), 0.0);
-    return util::gramsPerKilowattHour(sum /
-                                      static_cast<double>(kHours));
+    return series_.average();
 }
 
 std::array<std::size_t, DiurnalProfile::kHours>
 DiurnalProfile::hoursByIntensity() const
 {
-    std::array<std::size_t, kHours> order{};
-    std::iota(order.begin(), order.end(), 0u);
-    std::sort(order.begin(), order.end(),
-              [this](std::size_t a, std::size_t b) {
-                  return grams_per_kwh_[a] < grams_per_kwh_[b];
-              });
-    return order;
+    const std::vector<std::size_t> order = series_.samplesByIntensity();
+    std::array<std::size_t, kHours> hours{};
+    for (std::size_t i = 0; i < kHours; ++i)
+        hours[i] = order[i];
+    return hours;
 }
 
 } // namespace act::data

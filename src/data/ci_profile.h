@@ -5,6 +5,11 @@
  * this module models that fluctuation with 24-hour profiles shaped by
  * the renewable mix (solar peaks mid-day, wind is flatter), enabling
  * the carbon-aware scheduling extension in core/scheduling.h.
+ *
+ * DiurnalProfile is a thin 24-sample view over the general
+ * data::IntensitySeries substrate; callers that need arbitrary
+ * length/resolution (seasonal years, measured traces) should use
+ * IntensitySeries directly.
  */
 
 #ifndef ACT_DATA_CI_PROFILE_H
@@ -14,6 +19,7 @@
 #include <cstddef>
 
 #include "data/carbon_intensity_db.h"
+#include "data/intensity_series.h"
 #include "util/units.h"
 
 namespace act::data {
@@ -56,8 +62,13 @@ class DiurnalProfile
     /** Hour indices sorted from greenest to dirtiest. */
     std::array<std::size_t, kHours> hoursByIntensity() const;
 
+    /** The underlying one-day series (24 samples, 1 h step). */
+    const IntensitySeries &series() const { return series_; }
+
   private:
-    std::array<double, kHours> grams_per_kwh_{};
+    explicit DiurnalProfile(IntensitySeries series);
+
+    IntensitySeries series_;
 };
 
 } // namespace act::data

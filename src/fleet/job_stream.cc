@@ -1,0 +1,105 @@
+#include "fleet/job_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace act::fleet {
+
+void
+checkJobStream(const JobStreamParams &params)
+{
+    if (!(params.horizon_hours > 0.0) ||
+        !std::isfinite(params.horizon_hours)) {
+        util::fatal("job stream 'horizon_hours' must be positive, got ",
+                    params.horizon_hours);
+    }
+    if (!(params.median_duration_hours > 0.0) ||
+        !std::isfinite(params.median_duration_hours)) {
+        util::fatal("job stream 'median_duration_hours' must be "
+                    "positive, got ", params.median_duration_hours);
+    }
+    if (!(params.duration_sigma_factor >= 1.0) ||
+        !std::isfinite(params.duration_sigma_factor)) {
+        util::fatal("job stream 'duration_sigma_factor' must be >= 1, "
+                    "got ", params.duration_sigma_factor);
+    }
+    if (!(params.max_duration_hours >= params.median_duration_hours) ||
+        !std::isfinite(params.max_duration_hours)) {
+        util::fatal("job stream 'max_duration_hours' must be >= the "
+                    "median duration, got ", params.max_duration_hours);
+    }
+    if (!(params.deferrable_fraction >= 0.0 &&
+          params.deferrable_fraction <= 1.0)) {
+        util::fatal("job stream 'deferrable_fraction' must be in "
+                    "[0, 1], got ", params.deferrable_fraction);
+    }
+    if (!(params.max_slack_hours >= 0.0) ||
+        !std::isfinite(params.max_slack_hours)) {
+        util::fatal("job stream 'max_slack_hours' must be "
+                    "non-negative, got ", params.max_slack_hours);
+    }
+}
+
+Job
+jobAt(const JobStreamParams &params, std::uint64_t index)
+{
+    // Fixed draw order: any reordering is a stream-format change that
+    // breaks every pinned fleet result.
+    util::Xorshift64Star rng(util::deriveSeed(params.seed, index));
+    Job job;
+    job.arrival_hours = rng.nextUniform(0.0, params.horizon_hours);
+    job.duration_hours =
+        std::min(params.max_duration_hours,
+                 rng.nextLogNormal(params.median_duration_hours,
+                                   params.duration_sigma_factor));
+    job.utilization = rng.nextUnit();
+    job.deferrable = rng.nextUnit() < params.deferrable_fraction;
+    const double slack = rng.nextUniform(0.0, params.max_slack_hours);
+    job.slack_hours = job.deferrable ? slack : 0.0;
+    return job;
+}
+
+JobStreamParams
+jobStreamFromJson(const config::JsonValue &value)
+{
+    if (!value.isObject())
+        util::fatal("a job stream must be a JSON object");
+    JobStreamParams params;
+    params.horizon_hours =
+        value.numberOr("horizon_hours", params.horizon_hours);
+    params.median_duration_hours = value.numberOr(
+        "median_duration_hours", params.median_duration_hours);
+    params.duration_sigma_factor = value.numberOr(
+        "duration_sigma_factor", params.duration_sigma_factor);
+    params.max_duration_hours = value.numberOr(
+        "max_duration_hours", params.max_duration_hours);
+    params.deferrable_fraction = value.numberOr(
+        "deferrable_fraction", params.deferrable_fraction);
+    params.max_slack_hours =
+        value.numberOr("max_slack_hours", params.max_slack_hours);
+    checkJobStream(params);
+    return params;
+}
+
+config::JsonValue
+toJson(const JobStreamParams &params)
+{
+    config::JsonObject object;
+    object["horizon_hours"] = config::JsonValue(params.horizon_hours);
+    object["median_duration_hours"] =
+        config::JsonValue(params.median_duration_hours);
+    object["duration_sigma_factor"] =
+        config::JsonValue(params.duration_sigma_factor);
+    object["max_duration_hours"] =
+        config::JsonValue(params.max_duration_hours);
+    object["deferrable_fraction"] =
+        config::JsonValue(params.deferrable_fraction);
+    object["max_slack_hours"] =
+        config::JsonValue(params.max_slack_hours);
+    return config::JsonValue(std::move(object));
+}
+
+} // namespace act::fleet

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic seeded job streams for fleet replay. Job i of a
+ * stream is a pure function of (params, i): its generator is seeded
+ * with util::deriveSeed(params.seed, i), so any chunk of the stream
+ * regenerates its jobs without coordination -- the foundation of the
+ * fleet layer's bit-identity at any thread x shard x grain split.
+ *
+ * JSON form (all fields optional):
+ *
+ *   { "horizon_hours": 8760, "median_duration_hours": 2,
+ *     "duration_sigma_factor": 2.5, "max_duration_hours": 48,
+ *     "deferrable_fraction": 0.6, "max_slack_hours": 12 }
+ */
+
+#ifndef ACT_FLEET_JOB_STREAM_H
+#define ACT_FLEET_JOB_STREAM_H
+
+#include <cstdint>
+
+#include "config/json.h"
+
+namespace act::fleet {
+
+/** Distribution parameters of one job stream. */
+struct JobStreamParams
+{
+    /** Base seed; job i draws from util::deriveSeed(seed, i). */
+    std::uint64_t seed = 42;
+    /** Arrivals are uniform over [0, horizon) hours. */
+    double horizon_hours = 24.0;
+    /** Durations are log-normal (median, multiplicative spread),
+     *  clamped to max_duration_hours. */
+    double median_duration_hours = 2.0;
+    double duration_sigma_factor = 2.5;
+    double max_duration_hours = 48.0;
+    /** Probability a job tolerates deferral at all. */
+    double deferrable_fraction = 0.6;
+    /** Deferrable jobs draw their slack uniform over [0, max]. */
+    double max_slack_hours = 12.0;
+};
+
+/** One job of the stream. */
+struct Job
+{
+    double arrival_hours = 0.0;
+    double duration_hours = 0.0;
+    /** Server utilization while running, in [0, 1). */
+    double utilization = 0.0;
+    /** Hours past arrival the start may slip (0 if not deferrable). */
+    double slack_hours = 0.0;
+    bool deferrable = false;
+};
+
+/** Fatal on non-finite / out-of-range stream parameters. */
+void checkJobStream(const JobStreamParams &params);
+
+/** Generate job @p index of the stream (pure in (params, index)). */
+Job jobAt(const JobStreamParams &params, std::uint64_t index);
+
+/** Parse the JSON form; the seed comes from the caller (a SweepPlan),
+ *  not the document. Fatal on malformed input. */
+JobStreamParams jobStreamFromJson(const config::JsonValue &value);
+
+config::JsonValue toJson(const JobStreamParams &params);
+
+} // namespace act::fleet
+
+#endif // ACT_FLEET_JOB_STREAM_H

@@ -1,0 +1,317 @@
+#include "fleet/replay.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/footprint.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace act::fleet {
+
+namespace {
+
+/** Sum of @p count consecutive samples from @p start, cyclic, O(1)
+ *  via the prefix sums. */
+double
+sumSamples(const RegionSeries &region, std::size_t start,
+           std::size_t count)
+{
+    const std::size_t n = region.series.size();
+    const double *prefix = region.prefix_g.data();
+    double sum = static_cast<double>(count / n) * prefix[n];
+    const std::size_t rem = count % n;
+    const std::size_t s0 = start % n;
+    if (s0 + rem <= n)
+        sum += prefix[s0 + rem] - prefix[s0];
+    else
+        sum += (prefix[n] - prefix[s0]) + prefix[s0 + rem - n];
+    return sum;
+}
+
+/**
+ * Duration-weighted intensity (g/kWh x h) of a job occupying
+ * [start, start + duration) sample-aligned: full samples at step
+ * hours each plus the fractional tail. Multiplying by the job's grid
+ * power in kW yields its operational grams.
+ */
+double
+weightAt(const RegionSeries &region, std::size_t start,
+         double duration_hours)
+{
+    const double step = region.series.stepHours();
+    const auto full = static_cast<std::size_t>(duration_hours / step);
+    const double tail_hours =
+        duration_hours - static_cast<double>(full) * step;
+    double weight = sumSamples(region, start, full) * step;
+    if (tail_hours > 0.0)
+        weight += region.series.gramsAt(start + full) * tail_hours;
+    return weight;
+}
+
+/** Hours of start slip this scenario's policy grants @p job. */
+double
+allowedSlack(const FleetSetup &setup, const FleetScenario &scenario,
+             const Job &job)
+{
+    if (!job.deferrable)
+        return 0.0;
+    switch (scenario.policy.kind) {
+    case core::DeferralPolicy::Uniform:
+        return 0.0;
+    case core::DeferralPolicy::GreedyGreenest:
+        // Fleet-wide batch window: any deferrable job may slip up to
+        // the stream's maximum slack.
+        return setup.jobs.max_slack_hours;
+    case core::DeferralPolicy::DeadlineBounded:
+    case core::DeferralPolicy::GreenestRegion:
+        return job.slack_hours;
+    }
+    util::fatal("unknown deferral policy kind");
+}
+
+} // namespace
+
+RegionSeries::RegionSeries(std::string name_in,
+                           data::IntensitySeries series_in)
+    : name(std::move(name_in)), series(std::move(series_in))
+{
+    prefix_g.reserve(series.size() + 1);
+    prefix_g.push_back(0.0);
+    double sum = 0.0;
+    for (const double g : series.samples()) {
+        sum += g;
+        prefix_g.push_back(sum);
+    }
+}
+
+FleetSetup
+fleetSetupFromJson(const config::JsonValue &config, std::uint64_t seed)
+{
+    if (!config.isObject())
+        util::fatal("a fleet plan needs a 'config' object");
+    FleetSetup setup;
+    setup.platform = server::dellR740Platform(core::FabParams{});
+    setup.pue = config.numberOr("pue", 1.2);
+    if (!(setup.pue >= 1.0) || !std::isfinite(setup.pue))
+        util::fatal("fleet config 'pue' must be >= 1, got ", setup.pue);
+
+    setup.jobs = config.contains("jobs")
+                     ? jobStreamFromJson(config.at("jobs"))
+                     : JobStreamParams{};
+    setup.jobs.seed = seed;
+
+    if (!config.contains("regions"))
+        util::fatal("fleet config needs a 'regions' array");
+    for (const config::JsonValue &entry :
+         config.at("regions").asArray()) {
+        data::IntensitySeries series =
+            data::intensitySeriesFromJson(entry);
+        std::string name = entry.stringOr("name", series.name());
+        setup.regions.emplace_back(std::move(name), std::move(series));
+    }
+    if (setup.regions.empty())
+        util::fatal("fleet config has an empty 'regions' array");
+    const std::size_t samples = setup.regions.front().series.size();
+    const double step = setup.regions.front().series.stepHours();
+    for (const RegionSeries &region : setup.regions) {
+        if (region.series.size() != samples ||
+            region.series.stepHours() != step) {
+            util::fatal("fleet regions must share series length and "
+                        "step; region '", region.name, "' has ",
+                        region.series.size(), " x ",
+                        region.series.stepHours(), " h vs ", samples,
+                        " x ", step, " h");
+        }
+    }
+
+    std::vector<core::PolicySpec> policies;
+    std::vector<std::string> policy_names;
+    if (config.contains("policies")) {
+        for (const config::JsonValue &entry :
+             config.at("policies").asArray()) {
+            policies.push_back(core::policyByName(entry.asString()));
+            policy_names.push_back(entry.asString());
+        }
+    } else {
+        for (const char *name : {"uniform", "greedy"}) {
+            policies.push_back(core::policyByName(name));
+            policy_names.emplace_back(name);
+        }
+    }
+    if (policies.empty())
+        util::fatal("fleet config has an empty 'policies' array");
+    const auto deadline_samples = static_cast<std::size_t>(
+        config.numberOr("deadline_samples", 6.0));
+    for (core::PolicySpec &policy : policies) {
+        if (policy.kind == core::DeferralPolicy::DeadlineBounded)
+            policy.deadline_samples = deadline_samples;
+    }
+
+    std::vector<double> lifetimes;
+    if (config.contains("lifetime_years")) {
+        for (const config::JsonValue &entry :
+             config.at("lifetime_years").asArray()) {
+            lifetimes.push_back(entry.asNumber());
+        }
+    } else {
+        lifetimes.push_back(4.0);
+    }
+    for (const double years : lifetimes) {
+        if (!(years > 0.0) || !std::isfinite(years)) {
+            util::fatal("fleet config 'lifetime_years' entries must be "
+                        "positive, got ", years);
+        }
+    }
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        for (std::size_t r = 0; r < setup.regions.size(); ++r) {
+            for (const double years : lifetimes) {
+                FleetScenario scenario;
+                scenario.policy = policies[p];
+                scenario.home_region = r;
+                scenario.lifetime = util::years(years);
+                scenario.label = policy_names[p] + "@" +
+                                 setup.regions[r].name + "/" +
+                                 util::formatSig(years, 3) + "y";
+                setup.scenarios.push_back(std::move(scenario));
+            }
+        }
+    }
+    return setup;
+}
+
+void
+FleetAccumulator::add(const FleetAccumulator &other)
+{
+    jobs += other.jobs;
+    deferred += other.deferred;
+    migrated += other.migrated;
+    operational_g += other.operational_g;
+    embodied_g += other.embodied_g;
+    energy_kwh += other.energy_kwh;
+    busy_hours += other.busy_hours;
+    baseline_g += other.baseline_g;
+}
+
+std::vector<FleetAccumulator>
+replayJobs(const FleetSetup &setup, util::IndexRange range)
+{
+    std::vector<FleetAccumulator> accumulators(setup.scenarios.size());
+    const double step = setup.regions.front().series.stepHours();
+    const double embodied_g = util::asGrams(setup.platform.embodied);
+
+    for (std::size_t index = range.begin; index < range.end; ++index) {
+        const Job job = jobAt(setup.jobs, index);
+        // Grid draw of this job (IT power x PUE), in kW.
+        const double grid_kw =
+            util::asWatts(server::powerAtUtilization(
+                setup.platform, job.utilization)) /
+            1000.0 * setup.pue;
+        const std::size_t arrival =
+            static_cast<std::size_t>(job.arrival_hours / step);
+
+        for (std::size_t s = 0; s < setup.scenarios.size(); ++s) {
+            const FleetScenario &scenario = setup.scenarios[s];
+            const RegionSeries &home =
+                setup.regions[scenario.home_region];
+            const bool cross_region =
+                scenario.policy.kind ==
+                core::DeferralPolicy::GreenestRegion;
+            const auto max_shift = static_cast<std::size_t>(
+                allowedSlack(setup, scenario, job) / step);
+
+            // Greenest window within slack; ties resolve to the
+            // earliest start, then the lowest region index, so the
+            // choice is implementation-independent.
+            double best_weight =
+                weightAt(home, arrival, job.duration_hours);
+            std::size_t best_start = arrival;
+            std::size_t best_region = scenario.home_region;
+            const double baseline_weight = best_weight;
+            for (std::size_t shift = 0; shift <= max_shift; ++shift) {
+                const std::size_t start = arrival + shift;
+                if (cross_region) {
+                    for (std::size_t r = 0; r < setup.regions.size();
+                         ++r) {
+                        const double weight = weightAt(
+                            setup.regions[r], start,
+                            job.duration_hours);
+                        if (weight < best_weight) {
+                            best_weight = weight;
+                            best_start = start;
+                            best_region = r;
+                        }
+                    }
+                } else if (shift > 0) {
+                    const double weight =
+                        weightAt(home, start, job.duration_hours);
+                    if (weight < best_weight) {
+                        best_weight = weight;
+                        best_start = start;
+                    }
+                }
+            }
+
+            const double operational_g_job = grid_kw * best_weight;
+            const core::CarbonFootprint footprint =
+                core::combineFootprint(
+                    util::grams(operational_g_job),
+                    util::grams(embodied_g),
+                    util::hours(job.duration_hours),
+                    scenario.lifetime);
+
+            FleetAccumulator &acc = accumulators[s];
+            acc.jobs += 1;
+            acc.deferred += best_start != arrival ? 1 : 0;
+            acc.migrated +=
+                best_region != scenario.home_region ? 1 : 0;
+            acc.operational_g += util::asGrams(footprint.operational);
+            acc.embodied_g +=
+                util::asGrams(footprint.embodied_allocated);
+            acc.energy_kwh += grid_kw * job.duration_hours;
+            acc.busy_hours += job.duration_hours;
+            acc.baseline_g += grid_kw * baseline_weight;
+        }
+    }
+    return accumulators;
+}
+
+config::JsonValue
+toJson(const FleetAccumulator &accumulator)
+{
+    config::JsonObject object;
+    object["jobs"] =
+        config::JsonValue(static_cast<double>(accumulator.jobs));
+    object["deferred"] =
+        config::JsonValue(static_cast<double>(accumulator.deferred));
+    object["migrated"] =
+        config::JsonValue(static_cast<double>(accumulator.migrated));
+    object["operational_g"] =
+        config::JsonValue(accumulator.operational_g);
+    object["embodied_g"] = config::JsonValue(accumulator.embodied_g);
+    object["energy_kwh"] = config::JsonValue(accumulator.energy_kwh);
+    object["busy_hours"] = config::JsonValue(accumulator.busy_hours);
+    object["baseline_g"] = config::JsonValue(accumulator.baseline_g);
+    return config::JsonValue(std::move(object));
+}
+
+FleetAccumulator
+fleetAccumulatorFromJson(const config::JsonValue &value)
+{
+    FleetAccumulator accumulator;
+    accumulator.jobs =
+        static_cast<std::uint64_t>(value.at("jobs").asNumber());
+    accumulator.deferred =
+        static_cast<std::uint64_t>(value.at("deferred").asNumber());
+    accumulator.migrated =
+        static_cast<std::uint64_t>(value.at("migrated").asNumber());
+    accumulator.operational_g = value.at("operational_g").asNumber();
+    accumulator.embodied_g = value.at("embodied_g").asNumber();
+    accumulator.energy_kwh = value.at("energy_kwh").asNumber();
+    accumulator.busy_hours = value.at("busy_hours").asNumber();
+    accumulator.baseline_g = value.at("baseline_g").asNumber();
+    return accumulator;
+}
+
+} // namespace act::fleet

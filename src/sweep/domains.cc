@@ -9,6 +9,7 @@
 #include "core/eval_plan.h"
 #include "core/model_config.h"
 #include "data/soc_db.h"
+#include "fleet/replay.h"
 #include "mobile/platform.h"
 #include "pkg/package.h"
 #include "pkg/pkg_plan.h"
@@ -630,6 +631,78 @@ summarizeChiplet(const SweepPlan &, const JsonArray &results)
     return out.str();
 }
 
+// ---------------------------------------------------------------------
+// fleet: trace-driven job replay over regional intensity series.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kFleetDefaultJobs = 100000;
+/** Pinned (not thread-adaptive): the per-chunk accumulator sums make
+ *  the chunk layout observable in the last ulp, so the grain must be
+ *  a pure function of the plan. */
+constexpr std::size_t kFleetDefaultGrain = 8192;
+
+void
+prepareFleet(SweepPlan &plan)
+{
+    // Parse eagerly so every shard rejects a bad config up front.
+    (void)fleet::fleetSetupFromJson(plan.config, plan.seed);
+    if (plan.items == 0)
+        plan.items = kFleetDefaultJobs;
+    if (plan.grain == 0)
+        plan.grain = kFleetDefaultGrain;
+    resolveFingerprint(plan);
+}
+
+JsonChunkEvaluator
+fleetEvaluator(const SweepPlan &plan)
+{
+    auto setup = std::make_shared<const fleet::FleetSetup>(
+        fleet::fleetSetupFromJson(plan.config, plan.seed));
+    return [setup](std::size_t, util::IndexRange range,
+                   util::Xorshift64Star &) {
+        // Jobs seed their own deriveSeed(seed, index) streams, so the
+        // engine's per-chunk RNG goes unused: a job's placement is a
+        // pure function of its index, independent of which chunk,
+        // thread, or shard replays it.
+        const std::vector<fleet::FleetAccumulator> accumulators =
+            fleet::replayJobs(*setup, range);
+        JsonArray payload;
+        payload.reserve(accumulators.size());
+        for (const fleet::FleetAccumulator &accumulator : accumulators)
+            payload.push_back(toJson(accumulator));
+        return JsonValue(std::move(payload));
+    };
+}
+
+std::string
+summarizeFleet(const SweepPlan &plan, const JsonArray &results)
+{
+    const fleet::FleetSetup setup =
+        fleet::fleetSetupFromJson(plan.config, plan.seed);
+    const std::vector<fleet::FleetAccumulator> totals =
+        fleetResultFromPayloads(plan, results);
+    std::ostringstream out;
+    out << "fleet replay, "
+        << (totals.empty() ? 0 : totals.front().jobs) << " jobs x "
+        << totals.size() << " scenarios:\n";
+    for (std::size_t s = 0; s < totals.size(); ++s) {
+        const fleet::FleetAccumulator &acc = totals[s];
+        const double total_g = acc.operational_g + acc.embodied_g;
+        const double saving = acc.operational_g > 0.0
+                                  ? acc.baseline_g / acc.operational_g
+                                  : 1.0;
+        out << "  " << setup.scenarios[s].label << ": "
+            << util::formatSig(total_g / 1000.0, 4) << " kg CO2 ("
+            << util::formatSig(acc.operational_g / 1000.0, 4)
+            << " op + "
+            << util::formatSig(acc.embodied_g / 1000.0, 4)
+            << " embodied), saving " << util::formatSig(saving, 4)
+            << "x, deferred " << acc.deferred << ", migrated "
+            << acc.migrated << "\n";
+    }
+    return out.str();
+}
+
 constexpr Domain kDomains[] = {
     {"cpa_montecarlo",
      "Eq. 5 CPA uncertainty at a fixed node (Monte Carlo)",
@@ -642,6 +715,9 @@ constexpr Domain kDomains[] = {
     {"chiplet",
      "packaging style x die count over compiled pkg::PackagePlan",
      prepareChiplet, chipletEvaluator, summarizeChiplet},
+    {"fleet",
+     "trace-driven job replay over regional intensity series",
+     prepareFleet, fleetEvaluator, summarizeFleet},
 };
 
 } // namespace
@@ -656,6 +732,26 @@ std::vector<dse::UncertainParameter>
 cpaMonteCarloParameters(const SweepPlan &plan)
 {
     return parseCpaMonteCarloConfig(plan).parameters;
+}
+
+std::vector<fleet::FleetAccumulator>
+fleetResultFromPayloads(const SweepPlan &plan,
+                        const config::JsonArray &results)
+{
+    const fleet::FleetSetup setup =
+        fleet::fleetSetupFromJson(plan.config, plan.seed);
+    std::vector<fleet::FleetAccumulator> totals(setup.scenarios.size());
+    for (const JsonValue &chunk : results) {
+        const JsonArray &payload = chunk.asArray();
+        if (payload.size() != totals.size()) {
+            util::fatal("fleet chunk payload carries ", payload.size(),
+                        " scenarios but the plan's grid has ",
+                        totals.size());
+        }
+        for (std::size_t s = 0; s < totals.size(); ++s)
+            totals[s].add(fleet::fleetAccumulatorFromJson(payload[s]));
+    }
+    return totals;
 }
 
 const Domain &

@@ -20,6 +20,11 @@
  *    item per (packaging style, die count) grid point, each evaluated
  *    through a compiled pkg::PackagePlan. An optional fab-CI scenario
  *    column runs the batched package kernel per item.
+ *  - "fleet": trace-driven fleet replay; one item per job of a
+ *    deterministic seeded stream, evaluated against every scenario of
+ *    a policy x region x churn grid over regional IntensitySeries.
+ *    Payloads carry per-scenario FleetAccumulators that reduce in
+ *    chunk order (fleet/replay.h).
  *
  * Domains are separate from the engine so the engine stays free of
  * model dependencies (engine: util + config only; domains: dse,
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "dse/montecarlo.h"
+#include "fleet/replay.h"
 #include "sweep/engine.h"
 
 namespace act::sweep {
@@ -92,6 +98,16 @@ monteCarloPartialFromJson(const config::JsonValue &value);
 dse::MonteCarloResult
 monteCarloResultFromPayloads(std::size_t samples,
                              const config::JsonArray &results);
+
+/**
+ * Fold a fleet result document's chunk payloads, in order, into the
+ * final per-scenario accumulators (index-aligned with the scenario
+ * grid of the plan's config). Fatal when a chunk payload disagrees
+ * with the grid size.
+ */
+std::vector<fleet::FleetAccumulator>
+fleetResultFromPayloads(const SweepPlan &plan,
+                        const config::JsonArray &results);
 
 } // namespace act::sweep
 

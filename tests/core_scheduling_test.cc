@@ -164,5 +164,201 @@ TEST(Scheduling, TightCapacityLimitsTheSaving)
     EXPECT_NEAR(carbonAwareSaving(load, profile), 1.0, 1e-9);
 }
 
+// ---------------------------------------------------------------------
+// Policy API: the legacy 24-hour entry points are wrappers over
+// schedule(), and the new policies behave sanely.
+// ---------------------------------------------------------------------
+
+TEST(Policies, NamesRoundTrip)
+{
+    EXPECT_EQ(policyByName("uniform").kind, DeferralPolicy::Uniform);
+    EXPECT_EQ(policyByName("greedy").kind,
+              DeferralPolicy::GreedyGreenest);
+    EXPECT_EQ(policyByName("deadline").kind,
+              DeferralPolicy::DeadlineBounded);
+    EXPECT_GT(policyByName("deadline").deadline_samples, 0u);
+    EXPECT_EQ(policyByName("migrate").kind,
+              DeferralPolicy::GreenestRegion);
+    EXPECT_EQ(policyName(DeferralPolicy::GreedyGreenest), "greedy");
+}
+
+TEST(Policies, ScheduleMatchesLegacyWrappersBitwise)
+{
+    const auto profile = DiurnalProfile::solarGrid(
+        gramsPerKilowattHour(583.0), 0.25);
+    const auto legacy_uniform = scheduleUniform(referenceLoad(), profile);
+    const auto legacy_aware =
+        scheduleCarbonAware(referenceLoad(), profile);
+    const auto uniform = schedule(referenceLoad(), profile.series(),
+                                  policyByName("uniform"));
+    const auto aware = schedule(referenceLoad(), profile.series(),
+                                policyByName("greedy"));
+
+    ASSERT_EQ(uniform.placement.size(), DiurnalProfile::kHours);
+    for (std::size_t h = 0; h < DiurnalProfile::kHours; ++h) {
+        EXPECT_EQ(util::asKilowattHours(uniform.placement[h]),
+                  util::asKilowattHours(legacy_uniform.placement[h]));
+        EXPECT_EQ(util::asKilowattHours(aware.placement[h]),
+                  util::asKilowattHours(legacy_aware.placement[h]));
+    }
+    EXPECT_EQ(util::asGrams(uniform.total()),
+              util::asGrams(legacy_uniform.total()));
+    EXPECT_EQ(util::asGrams(aware.total()),
+              util::asGrams(legacy_aware.total()));
+}
+
+TEST(Policies, DeadlineWindowInterpolatesUniformAndGreedy)
+{
+    const auto series = data::IntensitySeries::solarDay(
+        gramsPerKilowattHour(583.0), 0.25);
+    const auto uniform = schedule(referenceLoad(), series,
+                                  policyByName("uniform"));
+    const auto greedy =
+        schedule(referenceLoad(), series, policyByName("greedy"));
+    const auto deadline = schedule(
+        referenceLoad(), series,
+        {DeferralPolicy::DeadlineBounded, 6});
+    // Bounded freedom lands between carbon-oblivious and unconstrained.
+    EXPECT_LE(util::asGrams(deadline.deferrable_footprint),
+              util::asGrams(uniform.deferrable_footprint));
+    EXPECT_GE(util::asGrams(deadline.deferrable_footprint),
+              util::asGrams(greedy.deferrable_footprint));
+    // A whole-series window IS greedy.
+    const auto wide = schedule(
+        referenceLoad(), series,
+        {DeferralPolicy::DeadlineBounded, series.size()});
+    EXPECT_EQ(util::asGrams(wide.deferrable_footprint),
+              util::asGrams(greedy.deferrable_footprint));
+    // Every window conserves energy overall.
+    util::Energy placed{};
+    for (const auto &energy : deadline.placement)
+        placed += energy;
+    EXPECT_NEAR(util::asKilowattHours(placed), 2.0, 1e-9);
+}
+
+TEST(Policies, CrossRegionPrefersTheGreenerGrid)
+{
+    const std::vector<data::IntensitySeries> regions = {
+        data::IntensitySeries::flat(gramsPerKilowattHour(583.0)),
+        data::IntensitySeries::flat(gramsPerKilowattHour(28.0)),
+    };
+    const auto result = scheduleAcrossRegions(referenceLoad(), regions);
+    // All deferrable energy migrates to the clean region...
+    util::Energy home{}, away{};
+    for (const auto &energy : result.placement[0])
+        home += energy;
+    for (const auto &energy : result.placement[1])
+        away += energy;
+    EXPECT_DOUBLE_EQ(util::asKilowattHours(home), 0.0);
+    EXPECT_NEAR(util::asKilowattHours(away), 2.0, 1e-9);
+    // ...while the baseline stays home.
+    EXPECT_NEAR(util::asGrams(result.baseline_footprint),
+                2.4 * 583.0, 1e-6);
+}
+
+TEST(Policies, SeriesScheduleScalesWithSpan)
+{
+    // A two-day series owes two days of deferrable energy.
+    const auto day = data::IntensitySeries::solarDay(
+        gramsPerKilowattHour(583.0), 0.25);
+    const auto two_days = data::IntensitySeries::seasonal(day, 2, 0.0);
+    const auto result =
+        schedule(referenceLoad(), two_days, policyByName("greedy"));
+    util::Energy placed{};
+    for (const auto &energy : result.placement)
+        placed += energy;
+    EXPECT_NEAR(util::asKilowattHours(placed), 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Input validation
+// ---------------------------------------------------------------------
+
+class SchedulingDeathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    }
+};
+
+TEST_F(SchedulingDeathTest, NegativeEnergyIsFatal)
+{
+    DailyLoad load = referenceLoad();
+    load.deferrable_energy = util::kilowattHours(-1.0);
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    EXPECT_EXIT(scheduleUniform(load, profile),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+TEST_F(SchedulingDeathTest, NanEnergyIsFatal)
+{
+    DailyLoad load = referenceLoad();
+    load.deferrable_energy =
+        util::kilowattHours(std::numeric_limits<double>::quiet_NaN());
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    EXPECT_EXIT(scheduleUniform(load, profile),
+                ::testing::ExitedWithCode(1), "must be finite");
+}
+
+TEST_F(SchedulingDeathTest, NanBaselineIsFatal)
+{
+    DailyLoad load = referenceLoad();
+    load.baseline =
+        util::watts(std::numeric_limits<double>::quiet_NaN());
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    EXPECT_EXIT(scheduleCarbonAware(load, profile),
+                ::testing::ExitedWithCode(1), "must be finite");
+}
+
+TEST_F(SchedulingDeathTest, ZeroCapacityWithEnergyIsFatal)
+{
+    DailyLoad load = referenceLoad();
+    load.deferrable_capacity = util::watts(0.0);
+    const auto profile = DiurnalProfile::flat(gramsPerKilowattHour(300));
+    EXPECT_EXIT(scheduleUniform(load, profile),
+                ::testing::ExitedWithCode(1), "capacity is zero");
+}
+
+TEST_F(SchedulingDeathTest, EnergyBeyondDailyCapacityIsFatal)
+{
+    DailyLoad load = referenceLoad();
+    load.deferrable_energy = util::kilowattHours(20.0);  // max 12 kWh
+    const auto series = data::IntensitySeries::flat(
+        gramsPerKilowattHour(300.0));
+    EXPECT_EXIT(schedule(load, series, policyByName("greedy")),
+                ::testing::ExitedWithCode(1), "exceeds the daily");
+}
+
+TEST_F(SchedulingDeathTest, ZeroDeadlineWindowIsFatal)
+{
+    const auto series = data::IntensitySeries::flat(
+        gramsPerKilowattHour(300.0));
+    EXPECT_EXIT(schedule(referenceLoad(), series,
+                         {DeferralPolicy::DeadlineBounded, 0}),
+                ::testing::ExitedWithCode(1), "deadline window");
+}
+
+TEST_F(SchedulingDeathTest, GreenestRegionNeedsTheMultiRegionApi)
+{
+    const auto series = data::IntensitySeries::flat(
+        gramsPerKilowattHour(300.0));
+    EXPECT_EXIT(schedule(referenceLoad(), series,
+                         {DeferralPolicy::GreenestRegion, 0}),
+                ::testing::ExitedWithCode(1), "scheduleAcrossRegions");
+}
+
+TEST_F(SchedulingDeathTest, MismatchedRegionSeriesAreFatal)
+{
+    const std::vector<data::IntensitySeries> regions = {
+        data::IntensitySeries::flat(gramsPerKilowattHour(583.0), 24),
+        data::IntensitySeries::flat(gramsPerKilowattHour(28.0), 48),
+    };
+    EXPECT_EXIT(scheduleAcrossRegions(referenceLoad(), regions),
+                ::testing::ExitedWithCode(1), "share length");
+}
+
 } // namespace
 } // namespace act::core
