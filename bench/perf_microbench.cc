@@ -397,10 +397,9 @@ BENCHMARK(BM_NpuEvaluation)->Arg(64)->Arg(512)->Arg(2048);
  * placements (jobs x scenarios); the sweep acceptance floor is
  * >= 1M placements/s single-core.
  */
-void
-BM_FleetReplay(benchmark::State &state)
+fleet::FleetSetup
+fleetBenchSetup()
 {
-    constexpr std::size_t kJobs = 10'000;
     const auto config = config::JsonValue::parse(R"({
         "pue": 1.3,
         "lifetime_years": [4],
@@ -414,8 +413,14 @@ BM_FleetReplay(benchmark::State &state)
         ],
         "jobs": {"horizon_hours": 8760}
     })");
-    const fleet::FleetSetup setup =
-        fleet::fleetSetupFromJson(config, 42);
+    return fleet::fleetSetupFromJson(config, 42);
+}
+
+void
+BM_FleetReplay(benchmark::State &state)
+{
+    constexpr std::size_t kJobs = 10'000;
+    const fleet::FleetSetup setup = fleetBenchSetup();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             fleet::replayJobs(setup, {0, kJobs}));
@@ -425,6 +430,57 @@ BM_FleetReplay(benchmark::State &state)
         static_cast<std::int64_t>(kJobs * setup.scenarios.size()));
 }
 BENCHMARK(BM_FleetReplay)->Unit(benchmark::kMillisecond);
+
+/** The same replay pinned to one dispatch level, so the perf gate
+ *  can track the scalar and SSE2 tiers independently of the host's
+ *  best level. */
+void
+BM_FleetReplaySimd(benchmark::State &state, util::SimdLevel level)
+{
+    if (!forceLevelOrSkip(state, level))
+        return;
+    constexpr std::size_t kJobs = 10'000;
+    const fleet::FleetSetup setup = fleetBenchSetup();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fleet::replayJobs(setup, {0, kJobs}));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(kJobs * setup.scenarios.size()));
+    util::setSimdLevel(util::detectedSimdLevel());
+}
+BENCHMARK_CAPTURE(BM_FleetReplaySimd, scalar, util::SimdLevel::Scalar)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FleetReplaySimd, sse2, util::SimdLevel::Sse2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FleetReplaySimd, avx2, util::SimdLevel::Avx2)
+    ->Unit(benchmark::kMillisecond);
+
+/** SoA job-block generation alone (the replay's front half): 100k
+ *  jobs in 512-job blocks, bit-identical to 100k jobAt() calls. */
+void
+BM_JobStreamBlock(benchmark::State &state)
+{
+    constexpr std::size_t kJobs = 100'000;
+    constexpr std::size_t kBlock = 512;
+    fleet::JobStreamParams params;
+    params.horizon_hours = 8760.0;
+    fleet::JobBlock block;
+    for (auto _ : state) {
+        double total = 0.0;
+        for (std::size_t first = 0; first < kJobs; first += kBlock) {
+            const std::size_t count =
+                std::min(kBlock, kJobs - first);
+            fleet::jobBlockAt(params, first, count, block);
+            total += block.duration_hours[count - 1];
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kJobs));
+}
+BENCHMARK(BM_JobStreamBlock)->Unit(benchmark::kMillisecond);
 
 void
 BM_FtlSimulator(benchmark::State &state)

@@ -5,12 +5,26 @@
 
 namespace act::core {
 
-namespace {
+namespace detail {
 
-util::Counter &g_eq1_evals =
-    util::MetricsRegistry::instance().counter("core.eq1.evals");
+util::Counter &
+eq1Evals()
+{
+    static util::Counter &counter =
+        util::MetricsRegistry::instance().counter("core.eq1.evals");
+    return counter;
+}
 
-} // namespace
+void
+fatalExecutionExceedsLifetime(util::Duration execution_time,
+                              util::Duration lifetime)
+{
+    util::fatal("execution time (", util::asSeconds(execution_time),
+                " s) exceeds hardware lifetime (",
+                util::asSeconds(lifetime), " s)");
+}
+
+} // namespace detail
 
 double
 CarbonFootprint::embodiedShare() const
@@ -25,7 +39,7 @@ CarbonFootprint
 combineFootprint(util::Mass operational, util::Mass embodied_total,
                  util::Duration execution_time, util::Duration lifetime)
 {
-    g_eq1_evals.add();
+    detail::eq1Evals().add();
     if (util::asSeconds(lifetime) <= 0.0)
         util::fatal("hardware lifetime must be positive");
     if (util::asSeconds(execution_time) < 0.0)

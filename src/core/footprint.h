@@ -11,9 +11,24 @@
 #ifndef ACT_CORE_FOOTPRINT_H
 #define ACT_CORE_FOOTPRINT_H
 
+#include "util/logging.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace act::core {
+
+namespace detail {
+
+/** The shared "core.eq1.evals" counter; combineFootprint() and
+ *  Eq1Amortizer::combine() both count through it. */
+util::Counter &eq1Evals();
+
+/** Cold half of Eq1Amortizer's T <= LT check. */
+[[noreturn]] void
+fatalExecutionExceedsLifetime(util::Duration execution_time,
+                              util::Duration lifetime);
+
+} // namespace detail
 
 /** The result of an Eq. 1 evaluation, keeping both terms visible. */
 struct CarbonFootprint
@@ -43,6 +58,52 @@ CarbonFootprint combineFootprint(util::Mass operational,
 /** Whole-lifetime footprint: Eq. 1 with T = LT. */
 CarbonFootprint lifetimeFootprint(util::Mass operational,
                                   util::Mass embodied_total);
+
+/**
+ * Batched Eq. 1 for hot loops that charge many executions against one
+ * hardware lifetime (e.g. fleet replay, which evaluates it once per
+ * job x scenario). The LT > 0 check runs once at construction;
+ * combine() then evaluates combineFootprint()'s exact expression tree,
+ * T-validation, and metrics count inline -- the two are
+ * interchangeable call-for-call, including the fatal messages.
+ */
+class Eq1Amortizer
+{
+  public:
+    explicit Eq1Amortizer(util::Duration lifetime) : lifetime_(lifetime)
+    {
+        if (util::asSeconds(lifetime) <= 0.0)
+            util::fatal("hardware lifetime must be positive");
+    }
+
+    /** Eq. 1 with LT fixed; identical to combineFootprint(operational,
+     *  embodied_total, execution_time, lifetime()). */
+    CarbonFootprint
+    combine(util::Mass operational, util::Mass embodied_total,
+            util::Duration execution_time) const
+    {
+        evals_.add();
+        if (util::asSeconds(execution_time) < 0.0)
+            util::fatal("execution time must be non-negative");
+        if (execution_time > lifetime_) {
+            detail::fatalExecutionExceedsLifetime(execution_time,
+                                                  lifetime_);
+        }
+        CarbonFootprint footprint;
+        footprint.operational = operational;
+        footprint.embodied_allocated =
+            embodied_total * (execution_time / lifetime_);
+        return footprint;
+    }
+
+    util::Duration lifetime() const { return lifetime_; }
+
+  private:
+    util::Duration lifetime_;
+    /** Cached once so the hot path is Counter::add()'s inline
+     *  relaxed load + store, with no registry lookup. */
+    util::Counter &evals_ = detail::eq1Evals();
+};
 
 } // namespace act::core
 

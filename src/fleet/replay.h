@@ -50,13 +50,17 @@ namespace act::fleet {
  *  window cost O(1) to evaluate. */
 struct RegionSeries
 {
-    /** Builds the prefix sums. */
+    /** Builds the prefix sums and the doubled sample array. */
     RegionSeries(std::string name, data::IntensitySeries series);
 
     std::string name;
     data::IntensitySeries series;
     /** prefix_g[i] = sum of samples [0, i); size() + 1 entries. */
     std::vector<double> prefix_g;
+    /** The samples twice back-to-back (2 * size() entries), so the
+     *  window kernels index grams2x[s0 + rem] == gramsAt(s0 + rem)
+     *  without a per-lane modulo. */
+    std::vector<double> grams2x;
 };
 
 /** One cell of the policy x region x churn grid. */
@@ -115,9 +119,26 @@ struct FleetAccumulator
  * policy-allowed slack of its arrival, and takes the window with the
  * lowest duration-weighted intensity (ties -> earliest start, then
  * lowest region index).
+ *
+ * Batched implementation (DESIGN.md §15): jobs are generated in SoA
+ * blocks, scenarios sharing a (policy kind, home region) pair share
+ * one placement per job (lifetime only affects the footprint
+ * amortization), and the per-shift window costs + argmin run through
+ * the SIMD kernel table -- bit-identical to replayJobsOracle() at
+ * every dispatch level.
  */
 std::vector<FleetAccumulator> replayJobs(const FleetSetup &setup,
                                          util::IndexRange range);
+
+/**
+ * The retained scalar reference: one jobAt() call per job, one full
+ * weightAt() scan per scenario, no grouping, no kernels. The batched
+ * replayJobs() must match it bit-for-bit (tested in
+ * tests/sweep_fleet_domain_test.cc); kept as the semantic anchor of
+ * the placement contract, not for production use.
+ */
+std::vector<FleetAccumulator>
+replayJobsOracle(const FleetSetup &setup, util::IndexRange range);
 
 /** Chunk payload codec (bit-exact doubles, exact counts). */
 config::JsonValue toJson(const FleetAccumulator &accumulator);

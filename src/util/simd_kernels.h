@@ -1,11 +1,13 @@
 /**
  * @file
- * Internal kernel table behind util/simd.h: the four batch kernels the
- * Monte Carlo hot path needs (unit-stream RNG fill, uniform and
- * triangular inverse-CDF transforms, and the Eq. 5 ratio kernel), as
- * per-level tables of function pointers. Problem descriptors are plain
- * PODs so the per-level translation units -- one of which is compiled
- * with -mavx2 -- depend on nothing above util.
+ * Internal kernel table behind util/simd.h: the batch kernels the
+ * Monte Carlo and fleet replay hot paths need (unit-stream RNG fill,
+ * uniform and triangular inverse-CDF transforms, the Eq. 5 ratio
+ * kernel, multi-stream job draws, the grid-power transform, and the
+ * fleet window-cost/argmin pair), as per-level tables of function
+ * pointers. Problem descriptors are plain PODs so the per-level
+ * translation units -- one of which is compiled with -mavx2 -- depend
+ * on nothing above util.
  *
  * The scalar table is the semantic reference: each vector kernel must
  * reproduce its outputs bit-for-bit on every input (tested in
@@ -47,6 +49,49 @@ struct TriangularTransform
     double ca = 0.0;    ///< c - a
     double bc = 0.0;    ///< b - c
     double pivot = 0.0; ///< (c - a) / (b - a)
+};
+
+/** Grid-power transform: out = (idle_w + span_w * u) / 1000 * pue,
+ *  i.e. server::powerAtUtilization in watts folded into grid kW. The
+ *  span is precomputed (peak - idle) exactly as the scalar expression
+ *  computes it, so the kernel keeps the scalar tree. */
+struct PowerTransform
+{
+    double idle_w = 0.0;
+    double span_w = 0.0;
+    double pue = 1.0;
+};
+
+/**
+ * One job's window-cost evaluation over a cyclic intensity series:
+ * for each shift k in [0, count), the duration-weighted intensity of
+ * the window starting at sample (start0 + k). Mirrors the fleet
+ * replayer's weightAt()/sumSamples() pair exactly:
+ *
+ *   s0     = (start0 + k) % n
+ *   sum    = base + (s0 + rem <= n
+ *                      ? prefix[s0 + rem] - prefix[s0]
+ *                      : (prefix[n] - prefix[s0]) + prefix[s0+rem-n])
+ *   out[k] = sum * step  (+ grams2x[s0 + rem] * tail_hours if tail)
+ *
+ * base = double(full / n) * prefix[n] and rem = full % n are per-job
+ * constants (full = whole samples covered); grams2x is the series
+ * doubled back-to-back so grams2x[s0 + rem] == grams[(s0 + rem) % n]
+ * without a per-lane modulo. The vector kernels split [0, count) into
+ * segments of uniform branch (wrap vs non-wrap) so loads stay
+ * contiguous and every lane keeps the scalar association.
+ */
+struct WindowCostProblem
+{
+    const double *prefix = nullptr;  ///< n + 1 cyclic prefix sums
+    const double *grams2x = nullptr; ///< 2n samples (series doubled)
+    std::size_t n = 0;               ///< series length
+    std::size_t start0 = 0;          ///< window start of shift 0
+    std::size_t count = 0;           ///< shifts evaluated
+    std::size_t rem = 0;             ///< full % n
+    double base = 0.0;               ///< double(full / n) * prefix[n]
+    double step = 0.0;               ///< sample step, hours
+    double tail_hours = 0.0;         ///< fractional tail; <= 0 -> none
 };
 
 /** One Eq. 5 term: a per-sample SoA column or a compiled constant
@@ -114,6 +159,32 @@ struct KernelTable
      */
     bool (*all_within)(const double *p, std::size_t n, double lo,
                        double hi, bool lo_exclusive);
+
+    /**
+     * Emit @p draws nextUnit() values for each of @p jobs independent
+     * xorshift64* streams, draw-major: out[d * jobs + j] is draw d of
+     * the stream whose raw state is states[j]. Lane = stream, so no
+     * jumps are needed -- each lane steps its own state exactly like
+     * the scalar generator. States must be nonzero (Xorshift64Star's
+     * constructor guarantees this via `| 1`).
+     */
+    void (*job_units)(const std::uint64_t *states, std::size_t jobs,
+                      std::size_t draws, double *out);
+
+    /** out[s] = (idle_w + span_w * u[s]) / 1000.0 * pue. */
+    void (*power_grid_kw)(const double *u, std::size_t n,
+                          const PowerTransform &tr, double *out);
+
+    /** Window costs for shifts [0, count) into out; see
+     *  WindowCostProblem. */
+    void (*window_costs)(const WindowCostProblem &problem, double *out);
+
+    /**
+     * Index of the minimum of p[0..n); ties resolve to the earliest
+     * index (strict-< scan semantics), matching the fleet placement
+     * scan's earliest-start tie-break. n must be >= 1.
+     */
+    std::size_t (*argmin_first)(const double *p, std::size_t n);
 };
 
 /**

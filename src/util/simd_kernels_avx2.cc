@@ -177,6 +177,10 @@ avx2Kernels()
         &transformTriangularT<LanesAvx2>,
         &evalRatioT<LanesAvx2>,
         &allWithinT<LanesAvx2>,
+        &jobUnitsT<LanesAvx2>,
+        &powerGridKwT<LanesAvx2>,
+        &windowCostsT<LanesAvx2>,
+        &argminFirstT<LanesAvx2>,
     };
     return &table;
 }

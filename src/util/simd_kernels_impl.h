@@ -230,6 +230,204 @@ allWithinT(const double *p, std::size_t n, double lo, double hi,
 }
 
 /**
+ * Multi-stream draw matrix: lane j of the state vector is stream j's
+ * own xorshift64* state, stepped in place -- no jumps, no interleave
+ * bookkeeping, because the streams are independent by construction
+ * (deriveSeed per job index). Draw-major output keeps each draw row
+ * contiguous for the downstream column transforms.
+ */
+template <class L>
+void
+jobUnitsT(const std::uint64_t *states, std::size_t jobs,
+          std::size_t draws, double *out)
+{
+    constexpr std::size_t W = L::kLanes;
+    std::size_t j = 0;
+    for (; j + W <= jobs; j += W) {
+        typename L::VU v = L::fromLanes(states + j);
+        for (std::size_t d = 0; d < draws; ++d) {
+            v = L::xorshiftStep(v);
+            L::storeu(out + d * jobs + j,
+                      L::unitFromValue(L::mulM(v)));
+        }
+    }
+    for (; j < jobs; ++j) {
+        std::uint64_t state = states[j];
+        for (std::size_t d = 0; d < draws; ++d) {
+            state = scalarXorshiftStep(state);
+            out[d * jobs + j] = scalarXorshiftUnit(state);
+        }
+    }
+}
+
+template <class L>
+void
+powerGridKwT(const double *u, std::size_t n, const PowerTransform &tr,
+             double *out)
+{
+    constexpr std::size_t W = L::kLanes;
+    const typename L::VF vidle = L::bcast(tr.idle_w);
+    const typename L::VF vspan = L::bcast(tr.span_w);
+    const typename L::VF vkilo = L::bcast(1000.0);
+    const typename L::VF vpue = L::bcast(tr.pue);
+    std::size_t s = 0;
+    for (; s + W <= n; s += W) {
+        const typename L::VF watts =
+            L::add(vidle, L::mul(vspan, L::loadu(u + s)));
+        L::storeu(out + s, L::mul(L::div(watts, vkilo), vpue));
+    }
+    for (; s < n; ++s)
+        out[s] = (tr.idle_w + tr.span_w * u[s]) / 1000.0 * tr.pue;
+}
+
+/**
+ * Window costs, segmented: [0, count) is cut at the points where the
+ * cyclic start wraps past n or the wrap/non-wrap branch flips, so
+ * within a segment every lane takes the same branch and all loads are
+ * contiguous. Both branch bodies keep the exact scalar association --
+ * base + (hi - lo) vs base + ((prefix[n] - lo) + hi') -- which is what
+ * makes the vector outputs bit-identical to the scalar scan.
+ */
+template <class L>
+void
+windowCostsT(const WindowCostProblem &pr, double *out)
+{
+    constexpr std::size_t W = L::kLanes;
+    const std::size_t n = pr.n;
+    const double *prefix = pr.prefix;
+    const double *grams2x = pr.grams2x;
+    const bool tail = pr.tail_hours > 0.0;
+    const typename L::VF vbase = L::bcast(pr.base);
+    const typename L::VF vstep = L::bcast(pr.step);
+    const typename L::VF vtail = L::bcast(pr.tail_hours);
+    const typename L::VF vpn = L::bcast(prefix[n]);
+    std::size_t k = 0;
+    std::size_t s0 = pr.start0 % n;
+    while (k < pr.count) {
+        const bool nonwrap = s0 + pr.rem <= n;
+        // Last non-wrap start is n - rem, so that segment ends at
+        // n - rem + 1 (clamped to n when rem == 0); a wrap segment
+        // runs until s0 cycles back to 0.
+        std::size_t seg_end = n;
+        if (nonwrap && pr.rem > 0 && n - pr.rem + 1 < n)
+            seg_end = n - pr.rem + 1;
+        std::size_t len = seg_end - s0;
+        if (len > pr.count - k)
+            len = pr.count - k;
+        std::size_t i = 0;
+        if (nonwrap) {
+            for (; i + W <= len; i += W) {
+                const typename L::VF sum = L::add(
+                    vbase,
+                    L::sub(L::loadu(prefix + s0 + pr.rem + i),
+                           L::loadu(prefix + s0 + i)));
+                typename L::VF w = L::mul(sum, vstep);
+                if (tail)
+                    w = L::add(
+                        w, L::mul(L::loadu(grams2x + s0 + pr.rem + i),
+                                  vtail));
+                L::storeu(out + k + i, w);
+            }
+            for (; i < len; ++i) {
+                const double sum =
+                    pr.base + (prefix[s0 + pr.rem + i] -
+                               prefix[s0 + i]);
+                double w = sum * pr.step;
+                if (tail)
+                    w += grams2x[s0 + pr.rem + i] * pr.tail_hours;
+                out[k + i] = w;
+            }
+        } else {
+            for (; i + W <= len; i += W) {
+                const typename L::VF sum = L::add(
+                    vbase,
+                    L::add(L::sub(vpn, L::loadu(prefix + s0 + i)),
+                           L::loadu(prefix + s0 + pr.rem - n + i)));
+                typename L::VF w = L::mul(sum, vstep);
+                if (tail)
+                    w = L::add(
+                        w, L::mul(L::loadu(grams2x + s0 + pr.rem + i),
+                                  vtail));
+                L::storeu(out + k + i, w);
+            }
+            for (; i < len; ++i) {
+                const double sum =
+                    pr.base + ((prefix[n] - prefix[s0 + i]) +
+                               prefix[s0 + pr.rem - n + i]);
+                double w = sum * pr.step;
+                if (tail)
+                    w += grams2x[s0 + pr.rem + i] * pr.tail_hours;
+                out[k + i] = w;
+            }
+        }
+        k += len;
+        s0 += len;
+        if (s0 >= n)
+            s0 -= n;
+    }
+}
+
+/**
+ * First-index argmin with strict-< scan semantics. Lanes track the
+ * running (value, index) of their index-stride-W subsequence -- the
+ * per-lane strict < keeps each lane's earliest minimum -- then the
+ * horizontal reduction picks the lexicographically smallest
+ * (value, index) pair, which is exactly the scalar left-to-right
+ * strict-< scan's answer. Scalar-tail indices all exceed every lane
+ * index, so the plain strict < keeps ties with the vector part.
+ */
+template <class L>
+std::size_t
+argminFirstT(const double *p, std::size_t n)
+{
+    constexpr std::size_t W = L::kLanes;
+    std::size_t best = 0;
+    double best_value = p[0];
+    std::size_t s = 1;
+    if (n >= 2 * W) {
+        double iota[W];
+        for (std::size_t j = 0; j < W; ++j)
+            iota[j] = static_cast<double>(j);
+        typename L::VF vvalue = L::loadu(p);
+        typename L::VF vindex = L::loadu(iota);
+        typename L::VF vcursor = vindex;
+        const typename L::VF vw =
+            L::bcast(static_cast<double>(W));
+        std::size_t k = W;
+        for (; k + W <= n; k += W) {
+            const typename L::VF v = L::loadu(p + k);
+            vcursor = L::add(vcursor, vw);
+            // Index blend first: both blends must see the same
+            // pre-update running minimum.
+            vindex = L::blendLess(v, vvalue, vcursor, vindex);
+            vvalue = L::blendLess(v, vvalue, v, vvalue);
+        }
+        double values[W];
+        double indices[W];
+        L::storeu(values, vvalue);
+        L::storeu(indices, vindex);
+        best = static_cast<std::size_t>(indices[0]);
+        best_value = values[0];
+        for (std::size_t j = 1; j < W; ++j) {
+            const auto index = static_cast<std::size_t>(indices[j]);
+            if (values[j] < best_value ||
+                (values[j] == best_value && index < best)) {
+                best_value = values[j];
+                best = index;
+            }
+        }
+        s = k;
+    }
+    for (; s < n; ++s) {
+        if (p[s] < best_value) {
+            best_value = p[s];
+            best = s;
+        }
+    }
+    return best;
+}
+
+/**
  * An Eq. 5 term lowered for the kernel loop: a (pointer, step) pair
  * where a bound column reads p + s (step 1) and a compiled constant
  * reads a local W-wide splat at step 0 -- so the vector loop is a

@@ -94,6 +94,76 @@ evalRatioScalar(const RatioTerms &t, std::size_t n, double *out)
     }
 }
 
+void
+jobUnitsScalar(const std::uint64_t *states, std::size_t jobs,
+               std::size_t draws, double *out)
+{
+    // Per stream, exactly Xorshift64Star::nextUnit() `draws` times;
+    // draw-major so each draw row is a contiguous column downstream.
+    for (std::size_t j = 0; j < jobs; ++j) {
+        std::uint64_t state = states[j];
+        for (std::size_t d = 0; d < draws; ++d) {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            out[d * jobs + j] =
+                static_cast<double>(
+                    (state * kXorshiftMultiplier) >> 11) *
+                0x1.0p-53;
+        }
+    }
+}
+
+void
+powerGridKwScalar(const double *u, std::size_t n,
+                  const PowerTransform &tr, double *out)
+{
+    // server::powerAtUtilization in watts folded into grid kW, the
+    // fleet replayer's exact tree: idle + (peak - idle) * u, / 1000,
+    // * pue, with span_w precomputed as the scalar sub.
+    for (std::size_t s = 0; s < n; ++s)
+        out[s] = (tr.idle_w + tr.span_w * u[s]) / 1000.0 * tr.pue;
+}
+
+void
+windowCostsScalar(const WindowCostProblem &pr, double *out)
+{
+    // Verbatim transcription of the fleet replayer's per-shift
+    // weightAt()/sumSamples() pair; see WindowCostProblem.
+    const double *prefix = pr.prefix;
+    const double *grams2x = pr.grams2x;
+    const std::size_t n = pr.n;
+    const bool tail = pr.tail_hours > 0.0;
+    std::size_t s0 = pr.start0 % n;
+    for (std::size_t k = 0; k < pr.count; ++k) {
+        double sum = pr.base;
+        if (s0 + pr.rem <= n)
+            sum += prefix[s0 + pr.rem] - prefix[s0];
+        else
+            sum += (prefix[n] - prefix[s0]) + prefix[s0 + pr.rem - n];
+        double weight = sum * pr.step;
+        if (tail)
+            weight += grams2x[s0 + pr.rem] * pr.tail_hours;
+        out[k] = weight;
+        if (++s0 == n)
+            s0 = 0;
+    }
+}
+
+std::size_t
+argminFirstScalar(const double *p, std::size_t n)
+{
+    std::size_t best = 0;
+    double best_value = p[0];
+    for (std::size_t s = 1; s < n; ++s) {
+        if (p[s] < best_value) {
+            best_value = p[s];
+            best = s;
+        }
+    }
+    return best;
+}
+
 bool
 allWithinScalar(const double *p, std::size_t n, double lo, double hi,
                 bool lo_exclusive)
@@ -197,6 +267,10 @@ scalarKernels()
         &transformTriangularScalar,
         &evalRatioScalar,
         &allWithinScalar,
+        &jobUnitsScalar,
+        &powerGridKwScalar,
+        &windowCostsScalar,
+        &argminFirstScalar,
     };
     return table;
 }

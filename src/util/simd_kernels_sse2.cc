@@ -179,6 +179,10 @@ sse2Kernels()
         &transformTriangularT<LanesSse2>,
         &evalRatioT<LanesSse2>,
         &allWithinT<LanesSse2>,
+        &jobUnitsT<LanesSse2>,
+        &powerGridKwT<LanesSse2>,
+        &windowCostsT<LanesSse2>,
+        &argminFirstT<LanesSse2>,
     };
     return &table;
 }
@@ -337,6 +341,10 @@ sse2Kernels()
         &transformTriangularT<LanesNeon>,
         &evalRatioT<LanesNeon>,
         &allWithinT<LanesNeon>,
+        &jobUnitsT<LanesNeon>,
+        &powerGridKwT<LanesNeon>,
+        &windowCostsT<LanesNeon>,
+        &argminFirstT<LanesNeon>,
     };
     return &table;
 }

@@ -17,6 +17,7 @@
 #include "sweep/engine.h"
 #include "sweep/plan.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace act::sweep {
 namespace {
@@ -54,8 +55,61 @@ fleetPlan()
 class SweepFleetDomainTest : public ::testing::Test
 {
   protected:
-    void TearDown() override { util::setThreadCount(0); }
+    void
+    TearDown() override
+    {
+        util::setThreadCount(0);
+        util::setSimdLevel(util::detectedSimdLevel());
+    }
 };
+
+/** Every SIMD level this binary can safely execute. */
+std::vector<util::SimdLevel>
+availableSimdLevels()
+{
+    std::vector<util::SimdLevel> levels = {util::SimdLevel::Scalar};
+    if (util::simdLevelAvailable(util::SimdLevel::Sse2))
+        levels.push_back(util::SimdLevel::Sse2);
+    if (util::simdLevelAvailable(util::SimdLevel::Avx2))
+        levels.push_back(util::SimdLevel::Avx2);
+    return levels;
+}
+
+/** Build a resolved FleetSetup straight from plan JSON. */
+fleet::FleetSetup
+setupFromText(const std::string &text)
+{
+    SweepPlan plan = sweepPlanFromJson(config::JsonValue::parse(text));
+    findDomain(plan.domain).prepare(plan);
+    return fleet::fleetSetupFromJson(plan.config, plan.seed);
+}
+
+/** Require two replay results to agree in every last bit: EXPECT_EQ
+ *  on the doubles, no tolerances (DESIGN.md §11). */
+void
+expectBitIdentical(const std::vector<fleet::FleetAccumulator> &actual,
+                   const std::vector<fleet::FleetAccumulator> &expected,
+                   const std::string &label)
+{
+    ASSERT_EQ(actual.size(), expected.size()) << label;
+    for (std::size_t s = 0; s < actual.size(); ++s) {
+        const fleet::FleetAccumulator &a = actual[s];
+        const fleet::FleetAccumulator &e = expected[s];
+        EXPECT_EQ(a.jobs, e.jobs) << label << " scenario " << s;
+        EXPECT_EQ(a.deferred, e.deferred) << label << " scenario " << s;
+        EXPECT_EQ(a.migrated, e.migrated) << label << " scenario " << s;
+        EXPECT_EQ(a.operational_g, e.operational_g)
+            << label << " scenario " << s;
+        EXPECT_EQ(a.embodied_g, e.embodied_g)
+            << label << " scenario " << s;
+        EXPECT_EQ(a.energy_kwh, e.energy_kwh)
+            << label << " scenario " << s;
+        EXPECT_EQ(a.busy_hours, e.busy_hours)
+            << label << " scenario " << s;
+        EXPECT_EQ(a.baseline_g, e.baseline_g)
+            << label << " scenario " << s;
+    }
+}
 
 TEST_F(SweepFleetDomainTest, DomainIsRegistered)
 {
@@ -110,6 +164,82 @@ TEST_F(SweepFleetDomainTest,
                 << shard_count << " shards, " << threads
                 << " threads";
         }
+    }
+}
+
+TEST_F(SweepFleetDomainTest, PlacementGroupsMatchPerScenarioOracle)
+{
+    // A policy x region x lifetime grid with three lifetimes, so each
+    // placement group fans out to several scenarios; the batched
+    // replayJobs() must match the retained per-scenario scalar oracle
+    // bit-for-bit at every SIMD level, over block-ragged ranges
+    // (1500 = 2 x 512 + 476) and a mid-stream offset.
+    const fleet::FleetSetup setup = setupFromText(R"({
+        "domain": "fleet",
+        "items": 1500,
+        "seed": 42,
+        "config": {
+            "pue": 1.3,
+            "lifetime_years": [2, 4, 6],
+            "policies": ["uniform", "greedy", "deadline", "migrate"],
+            "deadline_samples": 6,
+            "regions": [
+                {"name": "tw-solar", "profile": "solar",
+                 "region": "Taiwan", "share": 0.25},
+                {"name": "is-flat", "profile": "flat",
+                 "region": "Iceland"}
+            ],
+            "jobs": {"horizon_hours": 48, "max_slack_hours": 12}
+        }
+    })");
+    ASSERT_EQ(setup.scenarios.size(), 24u);
+
+    const util::IndexRange ranges[] = {{0, 1500}, {237, 749},
+                                       {1499, 1500}};
+    for (const util::IndexRange range : ranges) {
+        const std::vector<fleet::FleetAccumulator> expected =
+            fleet::replayJobsOracle(setup, range);
+        for (const util::SimdLevel level : availableSimdLevels()) {
+            util::setSimdLevel(level);
+            expectBitIdentical(
+                fleet::replayJobs(setup, range), expected,
+                std::string(util::simdLevelName(level)) + " range [" +
+                    std::to_string(range.begin) + ", " +
+                    std::to_string(range.end) + ")");
+        }
+        util::setSimdLevel(util::detectedSimdLevel());
+    }
+}
+
+TEST_F(SweepFleetDomainTest, ZeroSlackStreamMatchesOracle)
+{
+    // max_slack_hours 0 collapses every shift window to width one
+    // (the batched fast path: no argmin at all); migration across
+    // regions at shift 0 must still match the oracle exactly.
+    const fleet::FleetSetup setup = setupFromText(R"({
+        "domain": "fleet",
+        "items": 800,
+        "seed": 7,
+        "config": {
+            "lifetime_years": [3, 5],
+            "policies": ["uniform", "greedy", "deadline", "migrate"],
+            "regions": [
+                {"name": "tw-solar", "profile": "solar",
+                 "region": "Taiwan", "share": 0.25},
+                {"name": "is-flat", "profile": "flat",
+                 "region": "Iceland"}
+            ],
+            "jobs": {"horizon_hours": 48, "max_slack_hours": 0}
+        }
+    })");
+    const std::vector<fleet::FleetAccumulator> expected =
+        fleet::replayJobsOracle(setup, {0, 800});
+    for (const util::SimdLevel level : availableSimdLevels()) {
+        util::setSimdLevel(level);
+        expectBitIdentical(fleet::replayJobs(setup, {0, 800}),
+                           expected,
+                           std::string("zero-slack ") +
+                               util::simdLevelName(level));
     }
 }
 
@@ -257,6 +387,24 @@ TEST_F(SweepFleetDeathTest, NonPositiveLifetimeIsFatal)
                     "lifetime_years": [0], "regions": [
                         {"profile": "flat", "region": "Iceland"}]}})"),
                 ::testing::ExitedWithCode(1), "lifetime_years");
+}
+
+TEST_F(SweepFleetDeathTest, NonPositiveDeadlineSamplesIsFatal)
+{
+    EXPECT_EXIT(prepareText(R"({"domain": "fleet", "config": {
+                    "deadline_samples": -3, "regions": [
+                        {"profile": "flat", "region": "Iceland"}]}})"),
+                ::testing::ExitedWithCode(1),
+                "'deadline_samples' must be a positive integer");
+}
+
+TEST_F(SweepFleetDeathTest, FractionalDeadlineSamplesIsFatal)
+{
+    EXPECT_EXIT(prepareText(R"({"domain": "fleet", "config": {
+                    "deadline_samples": 2.5, "regions": [
+                        {"profile": "flat", "region": "Iceland"}]}})"),
+                ::testing::ExitedWithCode(1),
+                "'deadline_samples' must be a positive integer");
 }
 
 TEST_F(SweepFleetDeathTest, MalformedJobStreamIsFatal)

@@ -8,6 +8,7 @@
  * scalar generator's sequence in the scalar order.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -304,6 +305,166 @@ TEST(SimdKernelsTest, AllWithinAgreesAcrossLevels)
                                              1.0, false));
                 EXPECT_FALSE(table.all_within(values.data(), n, 0.0,
                                               1.0, true));
+            }
+        }
+    }
+}
+
+TEST(SimdKernelsTest, FleetKernelsRegisteredForEveryLevel)
+{
+    for (SimdLevel level : availableLevels()) {
+        const KernelTable &table = kernels(level);
+        EXPECT_NE(table.job_units, nullptr);
+        EXPECT_NE(table.power_grid_kw, nullptr);
+        EXPECT_NE(table.window_costs, nullptr);
+        EXPECT_NE(table.argmin_first, nullptr);
+    }
+}
+
+TEST(SimdKernelsTest, JobUnitsEmitsEachStatesScalarSequence)
+{
+    // Lanes are independent generators (one per job); every lane must
+    // reproduce its own Xorshift64Star::nextUnit() stream exactly,
+    // draw-major in the output.
+    for (SimdLevel level : availableLevels()) {
+        const KernelTable &table = kernels(level);
+        for (std::size_t jobs : kLengths) {
+            for (std::size_t draws :
+                 {std::size_t{1}, std::size_t{6}}) {
+                std::vector<std::uint64_t> states(jobs);
+                for (std::size_t j = 0; j < jobs; ++j)
+                    states[j] = Xorshift64Star(1000 + j).state();
+
+                std::vector<double> out(draws * jobs);
+                table.job_units(states.data(), jobs, draws,
+                                out.data());
+                for (std::size_t j = 0; j < jobs; ++j) {
+                    Xorshift64Star reference(1000 + j);
+                    for (std::size_t d = 0; d < draws; ++d) {
+                        ASSERT_EQ(out[d * jobs + j],
+                                  reference.nextUnit())
+                            << simdLevelName(level) << " jobs "
+                            << jobs << " job " << j << " draw " << d;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernelsTest, PowerGridKwMatchesScalarReferenceBitwise)
+{
+    PowerTransform tr;
+    tr.idle_w = 90.0;
+    tr.span_w = 415.0 - 90.0;
+    tr.pue = 1.3;
+    const KernelTable &scalar = scalarKernels();
+    for (SimdLevel level : availableLevels()) {
+        const KernelTable &table = kernels(level);
+        for (std::size_t n : kLengths) {
+            std::vector<double> u(n);
+            scalar.fill_units(Xorshift64Star(31).state(), u.data(),
+                              n);
+            std::vector<double> expected(n), actual(n);
+            scalar.power_grid_kw(u.data(), n, tr, expected.data());
+            table.power_grid_kw(u.data(), n, tr, actual.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(actual[i], expected[i])
+                    << simdLevelName(level) << " n " << n
+                    << " index " << i;
+            }
+        }
+    }
+}
+
+TEST(SimdKernelsTest, WindowCostsMatchScalarReferenceBitwise)
+{
+    // A small cyclic series with irregular values so wrap and
+    // non-wrap windows differ; prefix and doubled arrays as the
+    // fleet's RegionSeries builds them.
+    constexpr std::size_t kSamples = 24;
+    std::vector<double> grams(kSamples);
+    const KernelTable &scalar = scalarKernels();
+    scalar.fill_units(Xorshift64Star(67).state(), grams.data(),
+                      kSamples);
+    for (double &g : grams)
+        g = 100.0 + 500.0 * g;
+    std::vector<double> prefix(kSamples + 1, 0.0);
+    for (std::size_t i = 0; i < kSamples; ++i)
+        prefix[i + 1] = prefix[i] + grams[i];
+    std::vector<double> grams2x(grams);
+    grams2x.insert(grams2x.end(), grams.begin(), grams.end());
+
+    for (SimdLevel level : availableLevels()) {
+        const KernelTable &table = kernels(level);
+        for (std::size_t start0 : {std::size_t{0}, std::size_t{5},
+                                   std::size_t{23}, std::size_t{70}}) {
+            for (std::size_t rem :
+                 {std::size_t{0}, std::size_t{1}, std::size_t{11},
+                  std::size_t{23}}) {
+                // Counts below, at, and far beyond the series length
+                // exercise every segment split and the s0 rewrap.
+                for (std::size_t count :
+                     {std::size_t{1}, std::size_t{2}, std::size_t{13},
+                      std::size_t{24}, std::size_t{57}}) {
+                    for (double tail : {0.0, 0.37}) {
+                        WindowCostProblem problem;
+                        problem.prefix = prefix.data();
+                        problem.grams2x = grams2x.data();
+                        problem.n = kSamples;
+                        problem.start0 = start0;
+                        problem.count = count;
+                        problem.rem = rem;
+                        problem.base = 2.0 * prefix[kSamples];
+                        problem.step = 1.0;
+                        problem.tail_hours = tail;
+
+                        std::vector<double> expected(count),
+                            actual(count);
+                        scalar.window_costs(problem, expected.data());
+                        table.window_costs(problem, actual.data());
+                        for (std::size_t k = 0; k < count; ++k) {
+                            ASSERT_EQ(actual[k], expected[k])
+                                << simdLevelName(level) << " start0 "
+                                << start0 << " rem " << rem
+                                << " count " << count << " tail "
+                                << tail << " shift " << k;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdKernelsTest, ArgminFirstReturnsEarliestMinimum)
+{
+    const KernelTable &scalar = scalarKernels();
+    for (SimdLevel level : availableLevels()) {
+        const KernelTable &table = kernels(level);
+        for (std::size_t n : kLengths) {
+            if (n == 0)
+                continue;
+            std::vector<double> values(n);
+            scalar.fill_units(Xorshift64Star(123).state(),
+                              values.data(), n);
+            EXPECT_EQ(table.argmin_first(values.data(), n),
+                      scalar.argmin_first(values.data(), n))
+                << simdLevelName(level) << " n " << n;
+
+            // Ties must resolve to the earliest index, wherever the
+            // duplicates land relative to the vector lanes.
+            std::vector<double> tied(n, 5.0);
+            EXPECT_EQ(table.argmin_first(tied.data(), n), 0u)
+                << simdLevelName(level) << " all-equal n " << n;
+            for (std::size_t lo : {std::size_t{0}, n / 3, n - 1}) {
+                std::fill(tied.begin(), tied.end(), 5.0);
+                tied[lo] = 1.0;
+                if (n - 1 > lo)
+                    tied[n - 1] = 1.0;
+                EXPECT_EQ(table.argmin_first(tied.data(), n), lo)
+                    << simdLevelName(level) << " n " << n << " lo "
+                    << lo;
             }
         }
     }
